@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artefact at a reduced
+``dataset_scale`` (the same code path as the full-scale
+``python -m repro.experiments <exp>`` runner, sized to finish in
+minutes on a laptop).  After timing, every benchmark prints the
+paper-style table/series so the run doubles as the reproduction log
+consumed by EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Reduced-fidelity scale used by every benchmark.
+
+    0.03 keeps graphs at ~80-600 nodes so the full suite (every paper
+    table and figure) finishes in roughly ten minutes on a laptop;
+    raise it (and use ``python -m repro.experiments <exp> --scale``)
+    for higher-fidelity reproductions.
+    """
+    return ExperimentScale(dataset_scale=0.03, fast=True, seed=0)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduction artefact below the benchmark timings."""
+    print(f"\n===== {title} =====")
+    print(body)

@@ -1,0 +1,32 @@
+"""Benchmark FIG3 — motivation study (paper Fig. 3).
+
+Regenerates both panels: WAlign vs GWD vs KNN under structure
+perturbation and under feature permutation at 25 % edge noise.
+
+Expected shape (paper): WAlign decays under both noise types and meets
+KNN at high ratios; GWD is feature-noise-immune but structure-fragile;
+KNN is structure-noise-immune.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_sweep
+from repro.experiments.fig3_motivation import run_fig3
+
+
+def test_fig3_motivation(benchmark, bench_scale):
+    out = benchmark.pedantic(run_fig3, args=(bench_scale,), iterations=1, rounds=1)
+    for panel in ("structure", "feature"):
+        emit(
+            f"Fig. 3 / {panel} inconsistency (Hit@1 %)",
+            format_sweep(out[panel]),
+        )
+    sweeps = {r.method: r for r in out["structure"]}
+    # KNN ignores structure noise entirely
+    assert sweeps["KNN"].hits[0] == sweeps["KNN"].hits[-1]
+    # GWD collapses under heavy structure noise
+    assert sweeps["GWD"].hits[-1] < 0.5 * max(sweeps["GWD"].hits[0], 1e-9)
+    feature_sweeps = {r.method: r for r in out["feature"]}
+    # GWD ignores feature noise entirely
+    assert feature_sweeps["GWD"].hits[0] == feature_sweeps["GWD"].hits[-1]
+    # KNN degrades under feature permutation
+    assert feature_sweeps["KNN"].hits[-1] < feature_sweeps["KNN"].hits[0]

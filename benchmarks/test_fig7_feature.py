@@ -1,0 +1,63 @@
+"""Benchmark FIG7 — feature-inconsistency robustness (paper Fig. 7).
+
+Regenerates the three feature-transformation sweeps (permutation /
+truncation / compression at 25 % edge noise) on the Cora stand-in with
+the method panel, plus the runtime comparison of the figure's last
+column.
+
+Expected shape (paper): SLOTAlign is *exactly flat* under permutation
+(Prop. 4) and stays ahead of GWD under truncation/compression; GWD is
+flat everywhere; the cross-compare methods decay.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_sweep
+from repro.experiments.fig7_feature import run_fig7
+
+METHODS = ("SLOTAlign", "KNN", "WAlign", "GWD")
+LEVELS = (0.0, 0.4, 0.7)
+
+
+def test_fig7_feature_robustness(benchmark, bench_scale):
+    out = benchmark.pedantic(
+        run_fig7,
+        args=(bench_scale,),
+        kwargs=dict(datasets=("cora",), methods=METHODS, levels=LEVELS),
+        iterations=1,
+        rounds=1,
+    )
+    for transform, sweeps in out["cora"].items():
+        emit(f"Fig. 7 / cora / {transform} (Hit@1 %)", format_sweep(sweeps))
+    perm = {r.method: r for r in out["cora"]["permutation"]}
+    # Proposition 4: SLOTAlign exactly invariant to feature permutation
+    assert max(perm["SLOTAlign"].hits) - min(perm["SLOTAlign"].hits) < 1e-9
+    # GWD flat under every transform (feature-blind)
+    for sweeps in out["cora"].values():
+        gwd = {r.method: r for r in sweeps}["GWD"].hits
+        assert max(gwd) - min(gwd) < 1e-9
+    # runtime column: SLOTAlign is not the slowest method
+    runtimes = {
+        r.method: sum(r.runtimes) for r in out["cora"]["permutation"]
+    }
+    assert runtimes["SLOTAlign"] < max(runtimes.values()) or len(runtimes) == 1
+
+
+def test_fig7_truncation_slotalign_beats_gwd(benchmark, bench_scale):
+    out = benchmark.pedantic(
+        run_fig7,
+        args=(bench_scale,),
+        kwargs=dict(
+            datasets=("cora",),
+            transforms=("truncation",),
+            methods=("SLOTAlign", "GWD"),
+            levels=(0.4,),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    sweeps = {r.method: r for r in out["cora"]["truncation"]}
+    emit(
+        "Fig. 7 / cora / truncation@0.4 (Hit@1 %)",
+        format_sweep(list(sweeps.values())),
+    )
+    assert sweeps["SLOTAlign"].hits[0] >= sweeps["GWD"].hits[0]

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the OT substrate.
+
+Not a paper artefact per se, but underpins the runtime column of
+Fig. 7 / Table II: times the Sinkhorn projections and one GW proximal
+sweep at a fixed problem size, and checks the fast kernel-domain
+projection agrees with the log-domain reference.
+"""
+
+import numpy as np
+
+from repro.ot import (
+    proximal_gromov_wasserstein,
+    sinkhorn_log,
+    sinkhorn_log_kernel_fast,
+)
+
+
+def _problem(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    log_kernel = rng.standard_normal((n, n)) * 3.0
+    mu = np.full(n, 1.0 / n)
+    return log_kernel, mu
+
+
+def test_bench_sinkhorn_log(benchmark):
+    log_kernel, mu = _problem()
+    result = benchmark(
+        lambda: sinkhorn_log(None, mu, mu, max_iter=50, tol=0.0, log_kernel=log_kernel)
+    )
+    assert np.all(np.isfinite(result.plan))
+
+
+def test_bench_sinkhorn_fast(benchmark):
+    log_kernel, mu = _problem()
+    result = benchmark(
+        lambda: sinkhorn_log_kernel_fast(log_kernel, mu, mu, max_iter=50)
+    )
+    assert np.all(np.isfinite(result.plan))
+
+
+def test_fast_matches_log_domain(benchmark):
+    log_kernel, mu = _problem(n=80, seed=1)
+    fast = sinkhorn_log_kernel_fast(log_kernel, mu, mu, max_iter=3000, tol=1e-12)
+    reference = sinkhorn_log(
+        None, mu, mu, max_iter=3000, tol=1e-12, log_kernel=log_kernel
+    )
+    np.testing.assert_allclose(fast.plan, reference.plan, atol=1e-8)
+    benchmark(lambda: sinkhorn_log_kernel_fast(log_kernel, mu, mu, max_iter=100))
+
+
+def test_bench_proximal_gw(benchmark):
+    rng = np.random.default_rng(2)
+    d = rng.random((100, 100))
+    d = (d + d.T) / 2
+    result = benchmark.pedantic(
+        lambda: proximal_gromov_wasserstein(d, d, max_iter=20, inner_iter=30),
+        iterations=1,
+        rounds=2,
+    )
+    assert np.all(np.isfinite(result.plan))

@@ -1,0 +1,47 @@
+"""Benchmark TAB3 — DBP15K KG alignment (paper Table III).
+
+Regenerates Hit@{1,10} on the three bilingual subsets for SLOTAlign
+(feature-similarity π init, Sec. V-C) against the KG baselines.
+
+Expected shape (paper): SLOTAlign best on every subset; accuracy orders
+with cross-lingual feature agreement (FR-EN > JA-EN > ZH-EN).
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_table
+from repro.experiments.table3_dbp15k import run_table3
+
+METHODS = ("SLOTAlign", "GCNAlign", "LIME", "MultiKE", "EVA", "SelfKG")
+
+
+def test_table3_dbp15k(benchmark, bench_scale):
+    out = benchmark.pedantic(
+        run_table3,
+        args=(bench_scale,),
+        kwargs=dict(subsets=("zh_en", "fr_en"), methods=METHODS),
+        iterations=1,
+        rounds=1,
+    )
+    for subset, rows in out.items():
+        emit(f"Table III / DBP15K {subset}", format_table(rows))
+    for subset, rows in out.items():
+        best = max(row["hits@1"] for row in rows.values())
+        assert rows["SLOTAlign"]["hits@1"] >= best - 1e-9
+    # cross-lingual agreement ordering: FR-EN easier than ZH-EN
+    assert (
+        out["fr_en"]["SLOTAlign"]["hits@1"]
+        >= out["zh_en"]["SLOTAlign"]["hits@1"] - 5.0
+    )
+
+
+def test_table3_ja_en_subset(benchmark, bench_scale):
+    out = benchmark.pedantic(
+        run_table3,
+        args=(bench_scale,),
+        kwargs=dict(subsets=("ja_en",), methods=("SLOTAlign", "MultiKE")),
+        iterations=1,
+        rounds=1,
+    )
+    rows = out["ja_en"]
+    emit("Table III / DBP15K ja_en", format_table(rows))
+    assert rows["SLOTAlign"]["hits@1"] >= rows["MultiKE"]["hits@1"] - 1e-9

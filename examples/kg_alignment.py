@@ -1,0 +1,53 @@
+"""Scenario: cross-lingual knowledge-graph entity alignment.
+
+Mirrors the paper's DBP15K experiment (Table III): two KGs describing
+the same entities in different languages, with name-embedding features
+that are informative but not coordinate-aligned across languages.
+SLOTAlign uses the feature-similarity initialisation of Sec. V-C.
+
+Run:  python examples/kg_alignment.py
+"""
+
+from repro import SLOTAlign, SLOTAlignConfig, load_dbp15k
+from repro.baselines import MultiKEAligner, SelfKGAligner
+from repro.eval import evaluate_plan, format_table
+
+
+def main() -> None:
+    rows_by_subset = {}
+    for subset in ("zh_en", "fr_en"):
+        pair = load_dbp15k(subset, scale=0.02, seed=2)
+        agreement = pair.metadata["feature_agreement"]
+        print(
+            f"{subset}: {pair.source.n_nodes} + {pair.target.n_nodes} entities, "
+            f"{pair.n_anchors} anchors, cross-lingual feature agreement {agreement}"
+        )
+        methods = {
+            "SLOTAlign": SLOTAlign(
+                SLOTAlignConfig(
+                    n_bases=4,
+                    structure_lr=1.0,
+                    max_outer_iter=150,
+                    use_feature_similarity_init=True,
+                )
+            ),
+            "MultiKE": MultiKEAligner(),
+            "SelfKG": SelfKGAligner(n_epochs=25, seed=2),
+        }
+        rows = {}
+        for name, method in methods.items():
+            result = method.fit(pair.source, pair.target)
+            rows[name] = evaluate_plan(result.plan, pair.ground_truth, ks=(1, 10))
+        rows_by_subset[subset] = rows
+
+    for subset, rows in rows_by_subset.items():
+        print()
+        print(format_table(rows, title=f"DBP15K-style {subset} (Hit@k %)"))
+    print(
+        "\nExpected shape: every method improves with cross-lingual feature "
+        "agreement (fr_en > zh_en); SLOTAlign leads on both subsets."
+    )
+
+
+if __name__ == "__main__":
+    main()

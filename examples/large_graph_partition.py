@@ -1,0 +1,51 @@
+"""Scenario: scaling SLOTAlign with divide-and-conquer partitioning.
+
+The paper (Sec. IV-D) notes that dense GW is quadratic in the node
+counts and points to LIME-style graph partitioning as the route to very
+large graphs.  This example aligns a community-structured pair both
+directly and through the partitioned pipeline and compares quality vs
+wall-clock.
+
+Run:  python examples/large_graph_partition.py
+"""
+
+from repro.core import DivideAndConquerAligner, SLOTAlign, SLOTAlignConfig
+from repro.datasets import make_semi_synthetic_pair
+from repro.eval import hits_at_k
+from repro.graphs import stochastic_block_model
+from repro.graphs.features import community_bag_of_words
+
+
+def main() -> None:
+    # a 6-community graph large enough that partitioning pays off
+    graph = stochastic_block_model([45] * 6, 0.3, 0.005, seed=0)
+    feats = community_bag_of_words(graph.node_labels, 120, words_per_node=12, seed=1)
+    graph = graph.with_features(feats)
+    pair = make_semi_synthetic_pair(graph, edge_noise=0.05, seed=2)
+    print(f"pair: {pair.source.n_nodes} nodes, {pair.source.n_edges} edges")
+
+    config = SLOTAlignConfig(
+        n_bases=2, structure_lr=0.1, max_outer_iter=100, track_history=False
+    )
+
+    direct = SLOTAlign(config).fit(pair.source, pair.target)
+    direct_hit = hits_at_k(direct.plan, pair.ground_truth, 1)
+    print(f"\ndirect SLOTAlign:        hit@1={direct_hit:5.1f}  time={direct.runtime:.1f}s")
+
+    partitioned = DivideAndConquerAligner(config, max_block_size=100).fit(
+        pair.source, pair.target
+    )
+    part_hit = hits_at_k(partitioned.dense_plan(), pair.ground_truth, 1)
+    print(
+        f"partitioned ({partitioned.extras['n_parts']} parts):   "
+        f"hit@1={part_hit:5.1f}  time={partitioned.runtime:.1f}s"
+    )
+    print(
+        "\nExpected shape: partitioning trades a few Hit@1 points (cross-"
+        "part links are lost) for a large wall-clock reduction, exactly "
+        "the LIME trade-off the paper cites."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Scenario: stress-testing aligners under controlled inconsistency.
+
+Reproduces the heart of the paper's robustness argument (Figures 3 and
+7) on a small stand-in: sweep structure noise and feature permutation
+and watch (a) SLOTAlign's exact invariance to feature permutation
+(Proposition 4) and (b) the collapse of cross-compare methods.
+
+Run:  python examples/robustness_study.py
+"""
+
+from repro import load_cora
+from repro.baselines import KNNAligner, GWDAligner, WAlignAligner
+from repro.datasets import truncate_feature_columns
+from repro.eval import format_sweep, run_feature_sweep, run_structure_sweep
+from repro.experiments import ExperimentScale, slotalign_semi_synthetic
+
+
+def main() -> None:
+    scale = ExperimentScale(dataset_scale=0.06, fast=True, seed=0)
+    graph = truncate_feature_columns(load_cora(scale=scale.dataset_scale), 100)
+    aligners = {
+        "SLOTAlign": slotalign_semi_synthetic(scale),
+        "WAlign": WAlignAligner(n_epochs=25, seed=0),
+        "GWD": GWDAligner(max_iter=60),
+        "KNN": KNNAligner(),
+    }
+
+    structure = run_structure_sweep(
+        graph, aligners, levels=(0.0, 0.2, 0.4), seed=0
+    )
+    print(format_sweep(structure, title="Hit@1 vs structure perturbation"))
+
+    feature = run_feature_sweep(
+        graph,
+        aligners,
+        levels=(0.0, 0.3, 0.6),
+        transform="permutation",
+        edge_noise=0.25,
+        seed=0,
+    )
+    print()
+    print(format_sweep(feature, title="Hit@1 vs feature permutation (25% edge noise)"))
+    print(
+        "\nExpected shape: the SLOTAlign column is constant across the "
+        "feature-permutation sweep (Proposition 4); WAlign/KNN decay; GWD "
+        "is flat but low."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Scenario: linking user accounts across two social platforms.
+
+Mirrors the paper's Douban Online-Offline application (Fig. 1): the
+same user base observed through two different interaction semantics,
+with the online platform containing thousands of extra users.  Compares
+SLOTAlign against the feature-only (KNN) and structure-only (GWD)
+baselines to show why the joint approach wins on noisy real pairs.
+
+Run:  python examples/social_network_alignment.py
+"""
+
+from repro import SLOTAlign, SLOTAlignConfig, load_douban
+from repro.baselines import GWDAligner, KNNAligner
+from repro.eval import evaluate_plan, format_table
+
+
+def main() -> None:
+    pair = load_douban(scale=0.2, seed=1)
+    print(
+        f"offline graph: {pair.source.n_nodes} users, "
+        f"{pair.source.n_edges} co-occurrence edges"
+    )
+    print(
+        f"online graph:  {pair.target.n_nodes} users, "
+        f"{pair.target.n_edges} interaction edges"
+    )
+    print(f"ground-truth anchors: {pair.n_anchors}\n")
+
+    methods = {
+        "SLOTAlign": SLOTAlign(
+            SLOTAlignConfig(n_bases=4, structure_lr=1.0, max_outer_iter=200)
+        ),
+        "KNN (features only)": KNNAligner(),
+        "GWD (structure only)": GWDAligner(max_iter=100),
+    }
+    rows = {}
+    for name, method in methods.items():
+        result = method.fit(pair.source, pair.target)
+        rows[name] = evaluate_plan(result.plan, pair.ground_truth, ks=(1, 5, 10, 30))
+        rows[name]["time"] = result.runtime
+    print(format_table(rows, title="Douban-style account linking (Hit@k %)"))
+    print(
+        "\nExpected shape: location features alone are coarse (KNN weak), "
+        "structures differ across platforms (GWD weak); SLOTAlign combines "
+        "both signals and leads Hit@1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Functional layer on top of :class:`repro.autodiff.Tensor`.
+
+Softmax, log-softmax, norms and the loss functions the alignment
+baselines train with (margin ranking, contrastive InfoNCE).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Row-wise L2 normalisation (differentiable)."""
+    norm_sq = (x * x).sum(axis=axis, keepdims=True)
+    return x / ((norm_sq + eps) ** 0.5)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error against a constant target."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def margin_ranking_loss(
+    positive_scores: Tensor, negative_scores: Tensor, margin: float = 1.0
+) -> Tensor:
+    """``mean(max(0, margin - pos + neg))`` — GCNAlign's training loss.
+
+    ``positive_scores`` are similarities of pseudo-aligned pairs,
+    ``negative_scores`` similarities of corrupted pairs.
+    """
+    gap = Tensor(np.full_like(positive_scores.data, margin)) - positive_scores
+    hinge = (gap + negative_scores).maximum(Tensor(np.zeros_like(gap.data)))
+    return hinge.mean()
+
+
+def info_nce_loss(
+    anchor: Tensor, positive: Tensor, temperature: float = 0.1
+) -> Tensor:
+    """In-batch contrastive loss (SelfKG-style self-supervision).
+
+    Rows of ``anchor`` and ``positive`` are corresponding pairs; all
+    other rows in the batch act as negatives.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    anchor_n = l2_normalize(anchor)
+    positive_n = l2_normalize(positive)
+    logits = (anchor_n @ positive_n.T) * (1.0 / temperature)
+    log_probs = log_softmax(logits, axis=1)
+    n = log_probs.shape[0]
+    diag = log_probs[np.arange(n), np.arange(n)]
+    return -diag.mean()

@@ -1,0 +1,32 @@
+"""Baseline aligners: the paper's seven competitors plus KG methods."""
+
+from repro.baselines.base import Aligner, cosine_similarity_matrix
+from repro.baselines.knn import KNNAligner
+from repro.baselines.gwd import GWDAligner
+from repro.baselines.fusedgw import FusedGWAligner
+from repro.baselines.regal import REGALAligner
+from repro.baselines.gcn_align import GCNAlignAligner
+from repro.baselines.gat_align import GATAlignAligner
+from repro.baselines.walign import WAlignAligner
+from repro.baselines.kg_methods import (
+    MultiKEAligner,
+    EVAAligner,
+    SelfKGAligner,
+    LIMEAligner,
+)
+
+__all__ = [
+    "Aligner",
+    "cosine_similarity_matrix",
+    "KNNAligner",
+    "GWDAligner",
+    "FusedGWAligner",
+    "REGALAligner",
+    "GCNAlignAligner",
+    "GATAlignAligner",
+    "WAlignAligner",
+    "MultiKEAligner",
+    "EVAAligner",
+    "SelfKGAligner",
+    "LIMEAligner",
+]

@@ -1,0 +1,71 @@
+"""Common aligner interface.
+
+Every method — SLOTAlign and the seven baselines — exposes
+``fit(source, target) -> AlignmentResult`` so the experiment harness
+can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.result import AlignmentResult
+from repro.graphs.graph import AttributedGraph
+from repro.graphs.normalization import row_normalize
+from repro.utils.timer import Timer
+
+
+class Aligner(abc.ABC):
+    """Abstract unsupervised graph aligner."""
+
+    name: str = "aligner"
+
+    def fit(
+        self, source: AttributedGraph, target: AttributedGraph
+    ) -> AlignmentResult:
+        """Align ``source`` to ``target``; returns a scored plan."""
+        with Timer() as timer:
+            plan, extras = self._align(source, target)
+        return AlignmentResult(
+            plan=np.asarray(plan, dtype=np.float64),
+            runtime=timer.elapsed,
+            method=self.name,
+            extras=extras,
+        )
+
+    @abc.abstractmethod
+    def _align(
+        self, source: AttributedGraph, target: AttributedGraph
+    ) -> tuple[np.ndarray, dict]:
+        """Return ``(plan, extras)``; implemented by each method."""
+
+
+def cosine_similarity_matrix(
+    source_features: np.ndarray, target_features: np.ndarray
+) -> np.ndarray:
+    """Cross-graph cosine similarity; requires equal feature dims."""
+    return row_normalize(source_features) @ row_normalize(target_features).T
+
+
+def pad_features_to_common_dim(
+    source_features: np.ndarray, target_features: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-pad the narrower feature matrix to the wider one's dim.
+
+    The cross-compare baselines need *some* way to proceed under
+    feature truncation/compression; zero-padding is the neutral choice
+    (and, as the paper shows, still fails — the coordinates no longer
+    correspond).
+    """
+    ds = source_features.shape[1]
+    dt = target_features.shape[1]
+    if ds == dt:
+        return source_features, target_features
+    width = max(ds, dt)
+    padded_s = np.zeros((source_features.shape[0], width))
+    padded_s[:, :ds] = source_features
+    padded_t = np.zeros((target_features.shape[0], width))
+    padded_t[:, :dt] = target_features
+    return padded_s, padded_t

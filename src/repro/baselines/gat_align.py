@@ -1,0 +1,26 @@
+"""GATAlign baseline (paper Sec. V-A): GCNAlign with a GAT encoder.
+
+Identical training loop to :class:`GCNAlignAligner` but the shared
+encoder is a graph attention network, matching the paper's description
+("architecture similar to GCNAlign ... but uses Graph Attention Network
+for node embedding learning").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gcn_align import GCNAlignAligner
+from repro.gnn.gat import GAT
+from repro.graphs.graph import AttributedGraph
+
+
+class GATAlignAligner(GCNAlignAligner):
+    """Weight-shared GAT + margin ranking on pseudo-seeds."""
+
+    name = "GATAlign"
+
+    def _build_encoder(self, in_dim: int, seed):
+        return GAT([in_dim, self.hidden_dim, self.out_dim], seed=seed)
+
+    def _adjacency_operator(self, graph: AttributedGraph):
+        # GAT layers consume the raw adjacency as an attention mask
+        return graph.dense_adjacency()

@@ -1,0 +1,144 @@
+"""GCNAlign baseline (Wang et al., EMNLP 2018), unsupervised variant.
+
+"Embed-then-cross-compare": a weight-shared GCN embeds both graphs into
+one space; pseudo node correspondences are synthesised from cross-graph
+embedding similarity (mutual nearest neighbours) and the network is
+trained with a margin-based ranking loss that pulls pseudo pairs
+together and pushes corrupted pairs apart.  Because the comparison is
+*cross-graph*, the method inherits every feature-space misalignment —
+the failure mode the paper analyses in Sec. III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.functional import l2_normalize, margin_ranking_loss
+from repro.autodiff.optim import Adam
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import Aligner, pad_features_to_common_dim
+from repro.exceptions import GraphError
+from repro.gnn.gcn import GCN, dense_normalized_adjacency
+from repro.graphs.graph import AttributedGraph
+from repro.utils.random import check_random_state, spawn_seeds
+
+
+class GCNAlignAligner(Aligner):
+    """Weight-shared GCN + margin ranking on pseudo-seeds."""
+
+    name = "GCNAlign"
+
+    def __init__(
+        self,
+        hidden_dim: int = 64,
+        out_dim: int = 32,
+        n_epochs: int = 50,
+        n_pseudo_pairs: int = 128,
+        n_negatives: int = 5,
+        margin: float = 1.0,
+        lr: float = 0.005,
+        refresh_every: int = 10,
+        seed: int = 0,
+    ):
+        self.hidden_dim = hidden_dim
+        self.out_dim = out_dim
+        self.n_epochs = n_epochs
+        self.n_pseudo_pairs = n_pseudo_pairs
+        self.n_negatives = n_negatives
+        self.margin = margin
+        self.lr = lr
+        self.refresh_every = refresh_every
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _build_encoder(self, in_dim: int, seed):
+        return GCN([in_dim, self.hidden_dim, self.out_dim], seed=seed)
+
+    def _embed(self, encoder, norm_adj, feats: np.ndarray) -> Tensor:
+        return encoder(norm_adj, Tensor(feats))
+
+    # ------------------------------------------------------------------
+    def _align(self, source: AttributedGraph, target: AttributedGraph):
+        if source.features is None or target.features is None:
+            raise GraphError(f"{self.name} requires features on both graphs")
+        feats_s, feats_t = pad_features_to_common_dim(
+            source.features, target.features
+        )
+        seeds = spawn_seeds(self.seed, 2)
+        rng = check_random_state(seeds[1])
+        encoder = self._build_encoder(feats_s.shape[1], seeds[0])
+        adj_s = self._adjacency_operator(source)
+        adj_t = self._adjacency_operator(target)
+        optimizer = Adam(encoder.parameters(), lr=self.lr)
+
+        pseudo = None
+        losses: list[float] = []
+        for epoch in range(self.n_epochs):
+            emb_s = self._embed(encoder, adj_s, feats_s)
+            emb_t = self._embed(encoder, adj_t, feats_t)
+            if pseudo is None or epoch % self.refresh_every == 0:
+                pseudo = _mutual_nearest_pairs(
+                    emb_s.data, emb_t.data, self.n_pseudo_pairs
+                )
+            if pseudo.shape[0] == 0:
+                break
+            loss = self._ranking_loss(emb_s, emb_t, pseudo, rng, target.n_nodes)
+            encoder.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+
+        emb_s = self._embed(encoder, adj_s, feats_s).data
+        emb_t = self._embed(encoder, adj_t, feats_t).data
+        plan = _cosine(emb_s, emb_t)
+        return plan, {"losses": losses, "n_pseudo": 0 if pseudo is None else len(pseudo)}
+
+    # ------------------------------------------------------------------
+    def _adjacency_operator(self, graph: AttributedGraph):
+        return dense_normalized_adjacency(graph)
+
+    def _ranking_loss(self, emb_s, emb_t, pseudo, rng, n_target):
+        emb_s_n = l2_normalize(emb_s)
+        emb_t_n = l2_normalize(emb_t)
+        src_idx = pseudo[:, 0]
+        tgt_idx = pseudo[:, 1]
+        anchors = emb_s_n[src_idx]
+        positives = emb_t_n[tgt_idx]
+        pos_scores = (anchors * positives).sum(axis=1)
+        neg_idx = rng.integers(0, n_target, size=src_idx.shape[0] * self.n_negatives)
+        anchor_rep = emb_s_n[np.repeat(src_idx, self.n_negatives)]
+        negatives = emb_t_n[neg_idx]
+        neg_scores = (anchor_rep * negatives).sum(axis=1)
+        pos_rep = _repeat_rows(pos_scores, self.n_negatives)
+        return margin_ranking_loss(pos_rep, neg_scores, margin=self.margin)
+
+
+def _repeat_rows(scores: Tensor, times: int) -> Tensor:
+    """Differentiable repeat of a score vector (via index gather)."""
+    idx = np.repeat(np.arange(scores.shape[0]), times)
+    return scores[idx]
+
+
+def _mutual_nearest_pairs(
+    emb_s: np.ndarray, emb_t: np.ndarray, max_pairs: int
+) -> np.ndarray:
+    """Mutual-nearest-neighbour pseudo correspondences, best first."""
+    sim = _cosine(emb_s, emb_t)
+    best_t = np.argmax(sim, axis=1)
+    best_s = np.argmax(sim, axis=0)
+    sources = np.arange(emb_s.shape[0])
+    mutual = sources[best_s[best_t[sources]] == sources]
+    pairs = np.column_stack([mutual, best_t[mutual]])
+    if pairs.shape[0] > max_pairs:
+        scores = sim[pairs[:, 0], pairs[:, 1]]
+        keep = np.argsort(-scores)[:max_pairs]
+        pairs = pairs[keep]
+    return pairs
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    norm_a = np.linalg.norm(a, axis=1, keepdims=True)
+    norm_b = np.linalg.norm(b, axis=1, keepdims=True)
+    norm_a = np.where(norm_a < 1e-12, 1.0, norm_a)
+    norm_b = np.where(norm_b < 1e-12, 1.0, norm_b)
+    return (a / norm_a) @ (b / norm_b).T

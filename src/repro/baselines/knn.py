@@ -1,0 +1,33 @@
+"""KNN baseline: match nodes by raw feature similarity (paper Sec. V-A).
+
+Structure-free — therefore fully immune to edge perturbation and fully
+exposed to feature inconsistency, which is exactly the behaviour the
+motivation figure (Fig. 3) exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    Aligner,
+    cosine_similarity_matrix,
+    pad_features_to_common_dim,
+)
+from repro.exceptions import GraphError
+from repro.graphs.graph import AttributedGraph
+
+
+class KNNAligner(Aligner):
+    """Cosine-similarity nearest-neighbour matching in feature space."""
+
+    name = "KNN"
+
+    def _align(self, source: AttributedGraph, target: AttributedGraph):
+        if source.features is None or target.features is None:
+            raise GraphError("KNN requires features on both graphs")
+        feats_s, feats_t = pad_features_to_common_dim(
+            source.features, target.features
+        )
+        plan = cosine_similarity_matrix(feats_s, feats_t)
+        return plan, {}

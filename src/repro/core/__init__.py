@@ -1,0 +1,32 @@
+"""SLOTAlign core: the paper's primary contribution."""
+
+from repro.core.config import (
+    SLOTAlignConfig,
+    SEMI_SYNTHETIC_CONFIG,
+    REAL_WORLD_CONFIG,
+    DBP15K_CONFIG,
+)
+from repro.core.views import build_structure_bases, combine_bases, normalize_basis
+from repro.core.objective import JointObjective
+from repro.core.convergence import IterateHistory
+from repro.core.result import AlignmentResult
+from repro.core.slotalign import SLOTAlign, slotalign, feature_similarity_plan
+from repro.core.scalability import DivideAndConquerAligner, PartitionedAlignment
+
+__all__ = [
+    "SLOTAlignConfig",
+    "SEMI_SYNTHETIC_CONFIG",
+    "REAL_WORLD_CONFIG",
+    "DBP15K_CONFIG",
+    "build_structure_bases",
+    "combine_bases",
+    "normalize_basis",
+    "JointObjective",
+    "IterateHistory",
+    "AlignmentResult",
+    "SLOTAlign",
+    "slotalign",
+    "feature_similarity_plan",
+    "DivideAndConquerAligner",
+    "PartitionedAlignment",
+]

@@ -1,0 +1,58 @@
+"""Iterate tracking for Algorithm 1 (used to verify Theorem 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class IterateHistory:
+    """Record of an alternating-optimisation run.
+
+    Attributes
+    ----------
+    objective_values:
+        ``F(π_k, α_k)`` after each outer iteration (when tracking is
+        enabled).
+    alpha_deltas / plan_deltas:
+        ``‖α_{k+1} − α_k‖`` and ``‖π_{k+1} − π_k‖_F`` per iteration —
+        Theorem 5 predicts both sequences are square-summable.
+    """
+
+    objective_values: list[float] = field(default_factory=list)
+    alpha_deltas: list[float] = field(default_factory=list)
+    plan_deltas: list[float] = field(default_factory=list)
+    n_iterations: int = 0
+    converged: bool = False
+
+    def record(
+        self,
+        objective: float | None,
+        alpha_delta: float,
+        plan_delta: float,
+    ) -> None:
+        """Append one iteration's statistics."""
+        if objective is not None:
+            self.objective_values.append(float(objective))
+        self.alpha_deltas.append(float(alpha_delta))
+        self.plan_deltas.append(float(plan_delta))
+        self.n_iterations += 1
+
+    def is_monotone_decreasing(self, slack: float = 1e-8) -> bool:
+        """Whether the recorded objective never increases beyond ``slack``.
+
+        Theorem 5's sufficient-decrease property implies this holds for
+        valid step sizes.
+        """
+        values = np.asarray(self.objective_values)
+        if values.size < 2:
+            return True
+        return bool(np.all(np.diff(values) <= slack))
+
+    def total_squared_movement(self) -> float:
+        """``Σ_k ‖π_{k+1}−π_k‖² + ‖α_{k+1}−α_k‖²`` (finite per Thm. 5)."""
+        alpha = np.asarray(self.alpha_deltas)
+        plan = np.asarray(self.plan_deltas)
+        return float(np.sum(alpha**2) + np.sum(plan**2))

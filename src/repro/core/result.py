@@ -1,0 +1,55 @@
+"""Common result type returned by every aligner in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ot.matching import (
+    argmax_matching,
+    greedy_matching,
+    hungarian_matching,
+    top_k_candidates,
+)
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of an alignment run.
+
+    Attributes
+    ----------
+    plan:
+        ``n × m`` soft correspondence matrix (a transport plan for the
+        OT methods, a similarity matrix for embedding methods —
+        evaluation only uses relative row order).
+    runtime:
+        Wall-clock seconds spent in ``fit``.
+    method:
+        Name of the producing aligner.
+    extras:
+        Method-specific diagnostics (e.g. learned β weights, histories).
+    """
+
+    plan: np.ndarray
+    runtime: float = 0.0
+    method: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def matching(self, strategy: str = "argmax") -> np.ndarray:
+        """Discrete matching per Eq. (2).
+
+        ``strategy`` is one of ``argmax``, ``greedy``, ``hungarian``.
+        """
+        if strategy == "argmax":
+            return argmax_matching(self.plan)
+        if strategy == "greedy":
+            return greedy_matching(self.plan)
+        if strategy == "hungarian":
+            return hungarian_matching(self.plan)
+        raise ValueError(f"unknown matching strategy {strategy!r}")
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Top-k target candidates per source node."""
+        return top_k_candidates(self.plan, k)

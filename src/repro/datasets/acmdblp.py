@@ -1,0 +1,97 @@
+"""ACM-DBLP co-author pair simulator.
+
+The real dataset aligns two co-authorship views (ACM: 9,872 nodes /
+39,561 edges; DBLP: 9,916 / 44,808) with 17-dimensional features
+counting papers per venue; 6,325 authors overlap.  Reproduced
+difficulties:
+
+* **partial overlap with extra nodes on both sides** — each venue
+  indexes some authors the other misses;
+* **correlated-but-different structures** — the same collaboration
+  community yields different observed co-author edges per venue;
+* **informative low-dimensional count features** — venue-count vectors
+  are shared up to Poisson-style observation noise, which is why KNN is
+  already strong (Hit@1 ≈ 49 in Table II) and why feature-using methods
+  dominate GWD less than on Douban.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.pairs import AlignmentPair
+from repro.exceptions import DatasetError
+from repro.graphs.generators import powerlaw_cluster_graph
+from repro.graphs.graph import AttributedGraph
+from repro.graphs.permutation import permute_graph
+from repro.graphs.perturbation import perturb_edges
+from repro.utils.random import check_random_state, spawn_seeds
+
+
+def load_acm_dblp(scale: float = 0.1, seed: int = 29) -> AlignmentPair:
+    """Build the ACM/DBLP-like co-author pair.
+
+    ``scale=1.0`` reproduces the paper's ~9.9k-node graphs; the default
+    keeps dense-GW pipelines fast.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise DatasetError(f"scale must be in (0, 1], got {scale}")
+    n_common = max(60, int(round(6325 * scale)))
+    extra_acm = max(10, int(round((9872 - 6325) * scale)))
+    extra_dblp = max(10, int(round((9916 - 6325) * scale)))
+    n_venues = 17
+    seeds = spawn_seeds(seed, 8)
+    rng = check_random_state(seeds[0])
+
+    avg_degree = 2 * 39561 / 9872
+    attach = max(2, int(round(avg_degree / 2)))
+    core = powerlaw_cluster_graph(n_common, attach, 0.6, seed=seeds[1])
+
+    acm = _venue_view(core, extra_acm, 0.2, seeds[2], "acm")
+    dblp = _venue_view(core, extra_dblp, 0.2, seeds[3], "dblp")
+
+    # venue-count features: shared publication profile + per-venue noise
+    profile = rng.poisson(lam=1.5, size=(n_common, n_venues)).astype(np.float64)
+    acm_feats = np.vstack(
+        [
+            profile + rng.poisson(0.3, size=profile.shape),
+            rng.poisson(1.5, size=(extra_acm, n_venues)),
+        ]
+    ).astype(np.float64)
+    dblp_feats = np.vstack(
+        [
+            profile + rng.poisson(0.3, size=profile.shape),
+            rng.poisson(1.5, size=(extra_dblp, n_venues)),
+        ]
+    ).astype(np.float64)
+    acm = acm.with_features(acm_feats)
+    dblp = dblp.with_features(dblp_feats)
+
+    acm, perm_a = permute_graph(acm, seed=seeds[4])
+    dblp, perm_d = permute_graph(dblp, seed=seeds[5])
+    acm.name, dblp.name = "acm", "dblp"
+    ground_truth = np.column_stack([perm_a[:n_common], perm_d[:n_common]])
+    return AlignmentPair(
+        source=acm,
+        target=dblp,
+        ground_truth=ground_truth,
+        name="acm-dblp",
+        metadata={"n_common": n_common, "scale": scale},
+    )
+
+
+def _venue_view(
+    core: AttributedGraph, n_extra: int, noise: float, seed, name: str
+) -> AttributedGraph:
+    """One venue's observation of the collaboration core + extra authors."""
+    seeds = spawn_seeds(seed, 3)
+    rng = check_random_state(seeds[0])
+    view = perturb_edges(core, noise, seed=seeds[1])
+    n_old = view.n_nodes
+    n_new = n_old + n_extra
+    edges = [tuple(e) for e in view.edge_list()]
+    for new in range(n_old, n_new):
+        n_links = 1 + int(rng.integers(0, 3))
+        for _ in range(n_links):
+            edges.append((int(rng.integers(0, new)), new))
+    return AttributedGraph.from_edges(n_new, edges, name=name)

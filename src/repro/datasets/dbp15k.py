@@ -1,0 +1,169 @@
+"""DBP15K bilingual KG-alignment simulator.
+
+The real DBP15K subsets (ZH-EN, JA-EN, FR-EN) each contain ~19-20k
+entities per language, 70-116k relational triples and 15,000 aligned
+entity pairs; features are 768-d LaBSE embeddings of entity names.
+Cross-lingual character we reproduce (per subset):
+
+* a shared latent entity space observed twice through *different*
+  language encoders — features are informative across graphs but do not
+  live in the same coordinate system exactly; the cross-lingual cosine
+  similarity of true pairs is controlled by ``feature_agreement``
+  (FR-EN names are near-cognate → high agreement; ZH-EN lowest — this
+  drives the Table III ordering FR > JA > ZH);
+* per-language relational structure: both KGs sample triples from a
+  shared latent relatedness kernel with language-specific dropout, so
+  structures correlate without matching exactly;
+* only a subset of entities is shared (alignable), the rest are
+  language-specific.
+
+``scale=1.0`` would reproduce the paper's sizes; dense GW at 20k nodes
+needs >3 GB per matrix, so experiments default to ~8 % scale — the same
+code path at laptop-friendly n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.kg import KnowledgeGraph
+from repro.datasets.pairs import AlignmentPair
+from repro.exceptions import DatasetError
+from repro.graphs.features import random_orthogonal_matrix
+from repro.utils.random import check_random_state, spawn_seeds
+
+SUBSETS = {
+    # subset: (n_entities_src, n_entities_tgt, n_triples_src, n_triples_tgt,
+    #          feature_agreement)
+    "zh_en": (19388, 19572, 70414, 95142, 0.55),
+    "ja_en": (19814, 19780, 77214, 93484, 0.65),
+    "fr_en": (19661, 19993, 105998, 115722, 0.85),
+}
+
+FEATURE_DIM = 768
+N_ALIGNED = 15000
+
+
+def load_dbp15k(
+    subset: str = "zh_en", scale: float = 0.08, seed: int = 31
+) -> AlignmentPair:
+    """Build a bilingual KG pair mimicking one DBP15K subset.
+
+    Parameters
+    ----------
+    subset:
+        ``zh_en``, ``ja_en`` or ``fr_en``; controls sizes and the
+        cross-lingual feature agreement.
+    scale:
+        Fraction of the paper's entity counts.
+    """
+    if subset not in SUBSETS:
+        raise DatasetError(f"subset must be one of {sorted(SUBSETS)}, got {subset!r}")
+    if not 0.0 < scale <= 1.0:
+        raise DatasetError(f"scale must be in (0, 1], got {scale}")
+    n_src_full, n_tgt_full, t_src_full, t_tgt_full, agreement = SUBSETS[subset]
+    n_src = max(80, int(round(n_src_full * scale)))
+    n_tgt = max(80, int(round(n_tgt_full * scale)))
+    n_shared = min(max(40, int(round(N_ALIGNED * scale))), n_src, n_tgt)
+    feat_dim = max(48, int(round(FEATURE_DIM * max(scale, 0.15))))
+    n_latent = max(16, feat_dim // 4)
+    seeds = spawn_seeds(seed, 8)
+    rng = check_random_state(seeds[0])
+
+    # ------------------------------------------------------------------
+    # latent entity space: shared entities + language-specific tails
+    # ------------------------------------------------------------------
+    latent_shared = rng.standard_normal((n_shared, n_latent))
+    latent_src = np.vstack(
+        [latent_shared, rng.standard_normal((n_src - n_shared, n_latent))]
+    )
+    latent_tgt = np.vstack(
+        [latent_shared, rng.standard_normal((n_tgt - n_shared, n_latent))]
+    )
+
+    # ------------------------------------------------------------------
+    # relational structure from a shared relatedness kernel
+    # ------------------------------------------------------------------
+    kg_src = _language_kg(
+        latent_src, int(round(t_src_full * scale)), n_relations=8,
+        seed=seeds[1], name=f"dbp15k-{subset}-src",
+    )
+    kg_tgt = _language_kg(
+        latent_tgt, int(round(t_tgt_full * scale)), n_relations=8,
+        seed=seeds[2], name=f"dbp15k-{subset}-en",
+    )
+
+    # ------------------------------------------------------------------
+    # language encoders: same latent -> different feature spaces.
+    # agreement a in [0,1]: target readout = a * (shared map) +
+    # (1-a) * (independent map), so true-pair cosine similarity grows
+    # with a (FR-EN cognates high, ZH-EN low).
+    # ------------------------------------------------------------------
+    readout_shared = rng.standard_normal((n_latent, feat_dim)) / np.sqrt(n_latent)
+    readout_indep = rng.standard_normal((n_latent, feat_dim)) / np.sqrt(n_latent)
+    rotation = random_orthogonal_matrix(feat_dim, seed=seeds[3])
+    feats_src = latent_src @ readout_shared
+    readout_tgt = agreement * readout_shared + (1 - agreement) * readout_indep
+    feats_tgt = (latent_tgt @ readout_tgt) @ (
+        agreement * np.eye(feat_dim) + (1 - agreement) * rotation
+    )
+    noise = 0.1
+    feats_src = feats_src + noise * rng.standard_normal(feats_src.shape)
+    feats_tgt = feats_tgt + noise * rng.standard_normal(feats_tgt.shape)
+
+    kg_src.features = feats_src
+    kg_tgt.features = feats_tgt
+
+    source = kg_src.to_graph()
+    target = kg_tgt.to_graph()
+    ground_truth = np.column_stack([np.arange(n_shared), np.arange(n_shared)])
+    return AlignmentPair(
+        source=source,
+        target=target,
+        ground_truth=ground_truth,
+        name=f"dbp15k-{subset}",
+        metadata={
+            "subset": subset,
+            "scale": scale,
+            "feature_agreement": agreement,
+            "kg_source": kg_src,
+            "kg_target": kg_tgt,
+            "n_shared": n_shared,
+        },
+    )
+
+
+def _language_kg(
+    latent: np.ndarray, n_triples: int, n_relations: int, seed, name: str
+) -> KnowledgeGraph:
+    """Sample triples preferring latently-related entity pairs.
+
+    Candidate pairs are drawn degree-skewed; a pair is kept with
+    probability given by a logistic link on the latent inner product,
+    so both languages' structures reflect the same underlying
+    relatedness while remaining distinct samples.
+    """
+    rng = check_random_state(seed)
+    n = latent.shape[0]
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** -0.8
+    weights /= weights.sum()
+    triples: list[tuple[int, int, int]] = []
+    batch = max(4 * n_triples, 1000)
+    guard = 0
+    while len(triples) < n_triples and guard < 50:
+        guard += 1
+        heads = rng.choice(n, size=batch, p=weights)
+        tails = rng.choice(n, size=batch, p=weights)
+        mask = heads != tails
+        heads, tails = heads[mask], tails[mask]
+        score = np.sum(latent[heads] * latent[tails], axis=1)
+        accept_p = 1.0 / (1.0 + np.exp(-score))
+        accept = rng.random(heads.shape[0]) < accept_p
+        rels = rng.integers(0, n_relations, size=int(accept.sum()))
+        for h, r, t in zip(heads[accept], rels, tails[accept]):
+            triples.append((int(h), int(r), int(t)))
+            if len(triples) >= n_triples:
+                break
+    return KnowledgeGraph(
+        n_entities=n, triples=np.asarray(triples, dtype=np.int64), name=name
+    )

@@ -1,0 +1,49 @@
+"""PPI stand-in (Zitnik & Leskovec 2017).
+
+The paper's PPI graph has 1,767 nodes, 16,159 edges and 171 features
+(motif gene sets / immunological signatures).  The defining character
+is a *dense* biological interaction network (mean degree ~18) with
+moderately informative dense features.  We synthesise an SBM with many
+small functional modules plus dense features mixing module identity and
+degree information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graphs.features import degree_correlated_features
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import AttributedGraph
+from repro.utils.random import check_random_state, spawn_seeds
+
+
+def load_ppi(scale: float = 1.0, seed: int = 13) -> AttributedGraph:
+    """PPI stand-in: 1,767 nodes, ~16,159 edges, 171 dense attrs."""
+    if not 0.0 < scale <= 1.0:
+        raise DatasetError(f"scale must be in (0, 1], got {scale}")
+    n = max(60, int(round(1767 * scale)))
+    d = max(32, int(round(171 * max(scale, 0.4))))
+    n_modules = max(4, int(round(20 * np.sqrt(scale))))
+    sizes = [n // n_modules] * n_modules
+    sizes[0] += n - sum(sizes)
+    avg_degree = 2 * 16159 / 1767
+    block = n / n_modules
+    p_within = min(0.7 * avg_degree / max(block - 1, 1), 1.0)
+    p_between = 0.3 * avg_degree / max(n - block, 1)
+    seeds = spawn_seeds(seed, 3)
+    graph = stochastic_block_model(
+        sizes, p_within, p_between, seed=seeds[0], name="ppi"
+    )
+    rng = check_random_state(seeds[1])
+    # features: module one-hot-ish signatures plus degree-correlated noise
+    module_signatures = rng.standard_normal((n_modules, d))
+    feats = module_signatures[graph.node_labels]
+    feats = feats + 0.5 * degree_correlated_features(
+        graph.degrees, d, noise=1.0, seed=seeds[2]
+    )
+    graph = graph.with_features(feats)
+    graph.node_labels = np.repeat(np.arange(n_modules), sizes)
+    graph.name = "ppi"
+    return graph

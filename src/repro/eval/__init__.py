@@ -1,0 +1,32 @@
+"""Evaluation: metrics, robustness sweeps, report formatting."""
+
+from repro.eval.metrics import (
+    hits_at_k,
+    mean_reciprocal_rank,
+    alignment_accuracy,
+    evaluate_plan,
+)
+from repro.eval.robustness import (
+    SweepResult,
+    run_structure_sweep,
+    run_feature_sweep,
+    evaluate_on_pair,
+)
+from repro.eval.reporting import format_table, format_sweep
+from repro.eval.aggregate import AggregateResult, repeat_evaluation, format_aggregates
+
+__all__ = [
+    "hits_at_k",
+    "mean_reciprocal_rank",
+    "alignment_accuracy",
+    "evaluate_plan",
+    "SweepResult",
+    "run_structure_sweep",
+    "run_feature_sweep",
+    "evaluate_on_pair",
+    "format_table",
+    "format_sweep",
+    "AggregateResult",
+    "repeat_evaluation",
+    "format_aggregates",
+]

@@ -1,0 +1,97 @@
+"""Alignment quality metrics.
+
+The paper evaluates with Hit@k: the percentage of ground-truth source
+nodes whose true target lands in the top-k candidates of the plan row.
+All ground-truth correspondences are used (no train/test split — the
+methods are unsupervised).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def hits_at_k(plan: np.ndarray, ground_truth: np.ndarray, k: int) -> float:
+    """Hit@k in **percent** (0-100), matching the paper's tables.
+
+    Parameters
+    ----------
+    plan:
+        ``n × m`` soft correspondence scores.
+    ground_truth:
+        ``t × 2`` array of (source, target) anchor pairs.
+    k:
+        Number of candidates considered per source node.
+    """
+    plan, gt = _validate(plan, ground_truth)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if gt.shape[0] == 0:
+        return 0.0
+    rows = plan[gt[:, 0]]
+    true_scores = rows[np.arange(gt.shape[0]), gt[:, 1]]
+    rank = _mid_rank(rows, true_scores)
+    return float(np.mean(rank < k) * 100.0)
+
+
+def mean_reciprocal_rank(plan: np.ndarray, ground_truth: np.ndarray) -> float:
+    """MRR of the true target within each plan row (in [0, 1])."""
+    plan, gt = _validate(plan, ground_truth)
+    if gt.shape[0] == 0:
+        return 0.0
+    rows = plan[gt[:, 0]]
+    true_scores = rows[np.arange(gt.shape[0]), gt[:, 1]]
+    rank = _mid_rank(rows, true_scores) + 1.0
+    return float(np.mean(1.0 / rank))
+
+
+def _mid_rank(rows: np.ndarray, true_scores: np.ndarray) -> np.ndarray:
+    """0-based rank of the true score with mid-rank tie handling.
+
+    A plan row where every candidate ties (e.g. a zero feature vector
+    under cosine similarity) must not count its true target as rank 0;
+    mid-rank places it in the middle of its tie group, the standard
+    unbiased convention.
+    """
+    strictly_larger = np.sum(rows > true_scores[:, None], axis=1)
+    ties = np.sum(rows == true_scores[:, None], axis=1) - 1  # exclude self
+    return strictly_larger + 0.5 * ties
+
+
+def alignment_accuracy(matching: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Fraction (percent) of anchors whose discrete match is correct."""
+    matching = np.asarray(matching, dtype=np.int64)
+    gt = np.asarray(ground_truth, dtype=np.int64)
+    if gt.ndim != 2 or gt.shape[1] != 2:
+        raise ShapeError(f"ground_truth must be t x 2, got shape {gt.shape}")
+    if gt.shape[0] == 0:
+        return 0.0
+    if gt[:, 0].max() >= matching.shape[0]:
+        raise ShapeError("ground truth references nodes beyond the matching")
+    return float(np.mean(matching[gt[:, 0]] == gt[:, 1]) * 100.0)
+
+
+def evaluate_plan(
+    plan: np.ndarray, ground_truth: np.ndarray, ks=(1, 5, 10, 30)
+) -> dict[str, float]:
+    """Hit@k for each requested k plus MRR, as a flat dict."""
+    report = {f"hits@{k}": hits_at_k(plan, ground_truth, k) for k in ks}
+    report["mrr"] = mean_reciprocal_rank(plan, ground_truth)
+    return report
+
+
+def _validate(plan, ground_truth):
+    plan = np.asarray(plan, dtype=np.float64)
+    gt = np.asarray(ground_truth, dtype=np.int64)
+    if plan.ndim != 2:
+        raise ShapeError(f"plan must be 2-D, got shape {plan.shape}")
+    if gt.ndim != 2 or gt.shape[1] != 2:
+        raise ShapeError(f"ground_truth must be t x 2, got shape {gt.shape}")
+    if gt.size:
+        if gt[:, 0].max() >= plan.shape[0] or gt[:, 1].max() >= plan.shape[1]:
+            raise ShapeError("ground truth indices exceed plan dimensions")
+        if gt.min() < 0:
+            raise ShapeError("ground truth indices must be non-negative")
+    return plan, gt

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment outputs (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(
+    rows: dict[str, dict[str, float]],
+    columns: Iterable[str] | None = None,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``{row_label: {column: value}}`` as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(next(iter(rows.values())).keys())
+    columns = list(columns)
+    header = ["method"] + columns
+    body = []
+    for label, values in rows.items():
+        body.append(
+            [label]
+            + [
+                float_fmt.format(values[col]) if col in values else "-"
+                for col in columns
+            ]
+        )
+    widths = [
+        max(len(str(cell)) for cell in col_cells)
+        for col_cells in zip(header, *body)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_sweep(results, title: str | None = None) -> str:
+    """Render a list of :class:`SweepResult` as level-by-method table."""
+    if not results:
+        return "(empty sweep)"
+    levels = results[0].levels
+    header = ["level"] + [r.method for r in results]
+    body = []
+    for i, level in enumerate(levels):
+        body.append(
+            [f"{level:.2f}"] + [f"{r.hits[i]:.1f}" for r in results]
+        )
+    widths = [
+        max(len(str(cell)) for cell in col_cells)
+        for col_cells in zip(header, *body)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` on wrong argument types
+and the like) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation is invalid on it."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be constructed or loaded."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to produce usable iterates.
+
+    Solvers in this library do not raise merely because the iteration
+    budget was exhausted (a partial answer is still useful); they raise
+    ``ConvergenceError`` only when the iterates become invalid, e.g. a
+    transport plan collapses to NaN.
+    """
+
+
+class ShapeError(ReproError):
+    """Raised when array arguments have incompatible shapes."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values (negative step sizes...)."""

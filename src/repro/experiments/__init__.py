@@ -1,0 +1,31 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    default_aligners,
+    slotalign_real_world,
+    slotalign_semi_synthetic,
+)
+from repro.experiments.fig3_motivation import run_fig3
+from repro.experiments.fig6_structure import run_fig6
+from repro.experiments.fig7_feature import run_fig7
+from repro.experiments.fig8_sensitivity import run_fig8
+from repro.experiments.table2_realworld import run_table2
+from repro.experiments.table3_dbp15k import run_table3
+from repro.experiments.ablations import ablation_aligners
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "ExperimentScale",
+    "default_aligners",
+    "slotalign_real_world",
+    "slotalign_semi_synthetic",
+    "run_fig3",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table2",
+    "run_table3",
+    "ablation_aligners",
+    "run_experiment",
+]

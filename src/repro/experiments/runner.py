@@ -1,0 +1,95 @@
+"""Command-line experiment runner: ``python -m repro.experiments <exp>``.
+
+Prints the paper-style tables/series for any of the reproduced
+artefacts (fig3, fig6, fig7, table2, table3, fig8).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval.reporting import format_sweep, format_table
+from repro.experiments.config import ExperimentScale
+from repro.experiments.fig3_motivation import run_fig3
+from repro.experiments.fig6_structure import run_fig6
+from repro.experiments.fig7_feature import run_fig7
+from repro.experiments.fig8_sensitivity import run_fig8
+from repro.experiments.table2_realworld import run_table2
+from repro.experiments.table3_dbp15k import run_table3
+
+EXPERIMENTS = ("fig3", "fig6", "fig7", "table2", "table3", "fig8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--scale", type=float, default=0.07, help="dataset scale in (0, 1]"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full", action="store_true", help="disable fast mode (longer runs)"
+    )
+    args = parser.parse_args(argv)
+    scale = ExperimentScale(
+        dataset_scale=args.scale, fast=not args.full, seed=args.seed
+    )
+    print(run_experiment(args.experiment, scale))
+    return 0
+
+
+def run_experiment(name: str, scale: ExperimentScale) -> str:
+    """Run one experiment and render its report."""
+    if name == "fig3":
+        out = run_fig3(scale)
+        return "\n\n".join(
+            format_sweep(out[panel], title=f"Fig. 3 — {panel} inconsistency")
+            for panel in ("structure", "feature")
+        )
+    if name == "fig6":
+        out = run_fig6(scale)
+        return "\n\n".join(
+            format_sweep(res, title=f"Fig. 6 — {ds} (Hit@1 vs edge noise)")
+            for ds, res in out.items()
+        )
+    if name == "fig7":
+        out = run_fig7(scale)
+        chunks = []
+        for ds, transforms in out.items():
+            for transform, res in transforms.items():
+                chunks.append(
+                    format_sweep(res, title=f"Fig. 7 — {ds} / {transform}")
+                )
+        return "\n\n".join(chunks)
+    if name == "table2":
+        out = run_table2(scale)
+        return "\n\n".join(
+            format_table(rows, title=f"Table II — {ds}")
+            for ds, rows in out.items()
+        )
+    if name == "table3":
+        out = run_table3(scale)
+        return "\n\n".join(
+            format_table(rows, title=f"Table III — DBP15K {subset}")
+            for subset, rows in out.items()
+        )
+    if name == "fig8":
+        out = run_fig8(scale)
+        chunks = []
+        for parameter, curves in out.items():
+            rows = {
+                ds: {f"{v:g}": hit for v, hit in curve}
+                for ds, curve in curves.items()
+            }
+            chunks.append(
+                format_table(rows, title=f"Fig. 8 — sensitivity to {parameter}")
+            )
+        return "\n\n".join(chunks)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

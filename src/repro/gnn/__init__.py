@@ -1,0 +1,20 @@
+"""Graph neural network substrate: SGC propagation, GCN, GAT."""
+
+from repro.gnn.propagation import (
+    sgc_propagate,
+    propagation_stack,
+    normalized_adjacency_power,
+)
+from repro.gnn.gcn import GCN, GCNLayer, dense_normalized_adjacency
+from repro.gnn.gat import GAT, GATLayer
+
+__all__ = [
+    "sgc_propagate",
+    "propagation_stack",
+    "normalized_adjacency_power",
+    "GCN",
+    "GCNLayer",
+    "dense_normalized_adjacency",
+    "GAT",
+    "GATLayer",
+]

@@ -1,0 +1,82 @@
+"""Graph Attention Network layer (Veličković et al. 2018).
+
+Dense single-head implementation on the autodiff substrate; attention
+coefficients use the standard LeakyReLU additive mechanism, masked to
+the graph's edges (plus self-loops).  Used by the GATAlign baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.functional import softmax
+from repro.autodiff.module import Linear, Module, Parameter
+from repro.autodiff.tensor import Tensor
+from repro.utils.random import check_random_state, spawn_seeds
+
+
+class GATLayer(Module):
+    """Single-head graph attention: ``σ(softmax_j(e_ij) X W)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        leaky_slope: float = 0.2,
+        seed=None,
+    ):
+        seeds = spawn_seeds(seed, 2)
+        self.linear = Linear(in_features, out_features, bias=False, seed=seeds[0])
+        rng = check_random_state(seeds[1])
+        scale = np.sqrt(6.0 / (2 * out_features))
+        self.attn_src = Parameter(rng.uniform(-scale, scale, size=(out_features, 1)))
+        self.attn_dst = Parameter(rng.uniform(-scale, scale, size=(out_features, 1)))
+        self.leaky_slope = leaky_slope
+        if activation not in ("relu", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, adjacency_mask: np.ndarray, x: Tensor) -> Tensor:
+        h = self.linear(x)
+        # additive attention factorises: e_ij = leaky(a_s·h_i + a_d·h_j)
+        src_scores = h @ self.attn_src  # (n, 1)
+        dst_scores = h @ self.attn_dst  # (n, 1)
+        logits = src_scores + dst_scores.T
+        logits = _leaky_relu(logits, self.leaky_slope)
+        neg_inf = np.where(adjacency_mask > 0, 0.0, -1e9)
+        attention = softmax(logits + Tensor(neg_inf), axis=1)
+        out = attention @ h
+        return out.relu() if self.activation == "relu" else out
+
+
+def _leaky_relu(x: Tensor, slope: float) -> Tensor:
+    positive = x.relu()
+    negative = (-x).relu() * (-slope)
+    return positive + negative
+
+
+class GAT(Module):
+    """A stack of single-head GAT layers."""
+
+    def __init__(self, layer_dims: list[int], seed=None):
+        if len(layer_dims) < 2:
+            raise ValueError("layer_dims needs at least [in, out]")
+        seeds = spawn_seeds(seed, len(layer_dims) - 1)
+        self.layers = [
+            GATLayer(
+                layer_dims[i],
+                layer_dims[i + 1],
+                activation="relu" if i + 2 < len(layer_dims) else "none",
+                seed=seeds[i],
+            )
+            for i in range(len(layer_dims) - 1)
+        ]
+
+    def forward(self, adjacency_mask: np.ndarray, x: Tensor) -> Tensor:
+        # attention masks include self-loops so every row is normalisable
+        mask = np.asarray(adjacency_mask, dtype=np.float64)
+        mask = mask + np.eye(mask.shape[0])
+        for layer in self.layers:
+            x = layer(mask, x)
+        return x

@@ -1,0 +1,74 @@
+"""Graph Convolutional Network layers (Kipf & Welling 2017).
+
+Dense implementation on the autodiff substrate: a ``GCNLayer`` computes
+``σ(Â X W + b)``; :class:`GCN` stacks layers.  Used by the GCNAlign,
+WAlign and "parameterized GNN" ablation baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.module import Linear, Module
+from repro.autodiff.tensor import Tensor
+from repro.graphs.normalization import symmetric_normalize
+from repro.utils.random import spawn_seeds
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``activation(Â X W + b)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        seed=None,
+    ):
+        self.linear = Linear(in_features, out_features, seed=seed)
+        if activation not in ("relu", "tanh", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, norm_adj: np.ndarray, x: Tensor) -> Tensor:
+        propagated = Tensor(norm_adj) @ x if isinstance(norm_adj, np.ndarray) else (
+            Tensor(np.asarray(norm_adj.todense())) @ x
+        )
+        out = self.linear(propagated)
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out
+
+
+class GCN(Module):
+    """A stack of GCN layers producing node embeddings.
+
+    The final layer has no activation, matching the usual alignment
+    setup where embeddings feed a similarity computation.
+    """
+
+    def __init__(self, layer_dims: list[int], seed=None):
+        if len(layer_dims) < 2:
+            raise ValueError("layer_dims needs at least [in, out]")
+        seeds = spawn_seeds(seed, len(layer_dims) - 1)
+        self.layers = [
+            GCNLayer(
+                layer_dims[i],
+                layer_dims[i + 1],
+                activation="relu" if i + 2 < len(layer_dims) else "none",
+                seed=seeds[i],
+            )
+            for i in range(len(layer_dims) - 1)
+        ]
+
+    def forward(self, norm_adj, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(norm_adj, x)
+        return x
+
+
+def dense_normalized_adjacency(graph) -> np.ndarray:
+    """Dense ``Â`` for a graph (baselines operate on dense matrices)."""
+    return symmetric_normalize(graph.adjacency).toarray()

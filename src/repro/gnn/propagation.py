@@ -1,0 +1,67 @@
+"""Parameter-free feature propagation (paper Eq. 5).
+
+``Z(k) = Âᵏ X`` where ``Â = M^{-1/2}(A+I)M^{-1/2}`` — the simplified
+graph convolution of Wu et al. (2019) with the linear layer and
+activation removed, exactly as SLOTAlign's subgraph-view requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import AttributedGraph
+from repro.graphs.normalization import symmetric_normalize
+
+
+def sgc_propagate(
+    adjacency, features: np.ndarray, n_hops: int
+) -> np.ndarray:
+    """Propagate ``features`` for ``n_hops`` steps: ``Âᵏ X``."""
+    if n_hops < 0:
+        raise GraphError(f"n_hops must be non-negative, got {n_hops}")
+    feats = np.asarray(features, dtype=np.float64)
+    if feats.ndim != 2:
+        raise GraphError(f"features must be 2-D, got shape {feats.shape}")
+    norm_adj = symmetric_normalize(adjacency)
+    if norm_adj.shape[0] != feats.shape[0]:
+        raise GraphError(
+            f"adjacency has {norm_adj.shape[0]} nodes, features {feats.shape[0]}"
+        )
+    out = feats
+    for _ in range(n_hops):
+        out = norm_adj @ out
+    return np.asarray(out)
+
+
+def propagation_stack(
+    graph: AttributedGraph, max_hops: int
+) -> list[np.ndarray]:
+    """``[Z(0), Z(1), ..., Z(max_hops)]`` computed incrementally.
+
+    Used by the multi-view constructor so each additional hop costs a
+    single sparse matmul instead of recomputing from scratch.
+    """
+    if graph.features is None:
+        raise GraphError("propagation requires node features")
+    if max_hops < 0:
+        raise GraphError(f"max_hops must be non-negative, got {max_hops}")
+    norm_adj = symmetric_normalize(graph.adjacency)
+    stack = [graph.features]
+    current = graph.features
+    for _ in range(max_hops):
+        current = np.asarray(norm_adj @ current)
+        stack.append(current)
+    return stack
+
+
+def normalized_adjacency_power(adjacency, k: int) -> sp.csr_array:
+    """``Âᵏ`` as a sparse matrix (used in tests to cross-check Eq. 5)."""
+    if k < 0:
+        raise GraphError(f"k must be non-negative, got {k}")
+    norm_adj = symmetric_normalize(adjacency)
+    result = sp.eye_array(norm_adj.shape[0], format="csr")
+    for _ in range(k):
+        result = sp.csr_array(result @ norm_adj)
+    return result

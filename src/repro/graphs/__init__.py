@@ -1,0 +1,76 @@
+"""Graph substrate: containers, generators, normalisation, perturbation."""
+
+from repro.graphs.graph import AttributedGraph
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    barabasi_albert_graph,
+    powerlaw_cluster_graph,
+    watts_strogatz_graph,
+    stochastic_block_model,
+    random_bipartite_expansion,
+)
+from repro.graphs.normalization import (
+    symmetric_normalize,
+    row_normalize,
+    add_self_loops,
+    degree_matrix,
+)
+from repro.graphs.permutation import (
+    permutation_matrix,
+    permute_graph,
+    ground_truth_from_permutation,
+    invert_permutation,
+)
+from repro.graphs.perturbation import (
+    perturb_edges,
+    permute_features,
+    truncate_features,
+    compress_features,
+    add_feature_noise,
+    drop_edges,
+)
+from repro.graphs.io import save_graph, load_graph
+from repro.graphs.statistics import (
+    average_degree,
+    density,
+    clustering_coefficient,
+    degree_gini,
+    modularity,
+    feature_sparsity,
+    structural_summary,
+    edge_overlap,
+)
+
+__all__ = [
+    "AttributedGraph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "watts_strogatz_graph",
+    "stochastic_block_model",
+    "random_bipartite_expansion",
+    "symmetric_normalize",
+    "row_normalize",
+    "add_self_loops",
+    "degree_matrix",
+    "permutation_matrix",
+    "permute_graph",
+    "ground_truth_from_permutation",
+    "invert_permutation",
+    "perturb_edges",
+    "permute_features",
+    "truncate_features",
+    "compress_features",
+    "add_feature_noise",
+    "drop_edges",
+    "save_graph",
+    "load_graph",
+    "average_degree",
+    "density",
+    "clustering_coefficient",
+    "degree_gini",
+    "modularity",
+    "feature_sparsity",
+    "structural_summary",
+    "edge_overlap",
+]

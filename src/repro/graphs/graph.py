@@ -1,0 +1,206 @@
+"""The :class:`AttributedGraph` container used throughout the library.
+
+The paper (Sec. II) denotes an undirected attributed graph as
+``G = (V, A, X)`` with binary adjacency ``A`` and node features
+``X ∈ R^{n×d}``.  We store the adjacency as a ``scipy.sparse.csr_array``
+(so large graphs stay cheap) and features as a dense float64 matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+
+
+def _to_csr(adjacency) -> sp.csr_array:
+    """Coerce any array/sparse input into a canonical binary CSR adjacency."""
+    if sp.issparse(adjacency):
+        mat = sp.csr_array(adjacency)
+    else:
+        arr = np.asarray(adjacency)
+        if arr.ndim != 2:
+            raise GraphError(f"adjacency must be 2-D, got shape {arr.shape}")
+        mat = sp.csr_array(arr)
+    if mat.shape[0] != mat.shape[1]:
+        raise GraphError(f"adjacency must be square, got shape {mat.shape}")
+    mat = mat.astype(np.float64)
+    mat.eliminate_zeros()
+    mat.sum_duplicates()
+    return mat
+
+
+@dataclass
+class AttributedGraph:
+    """An undirected attributed graph ``G = (V, A, X)``.
+
+    Parameters
+    ----------
+    adjacency:
+        ``n × n`` symmetric binary adjacency matrix (dense or sparse).
+    features:
+        ``n × d`` node feature matrix; may be ``None`` for plain graphs.
+    name:
+        Optional human-readable label used in experiment reports.
+
+    Notes
+    -----
+    The adjacency is validated to be symmetric and hollow (no
+    self-loops); self-loops are added explicitly by the normalisation
+    step (Eq. 5) where the paper requires them.
+    """
+
+    adjacency: sp.csr_array
+    features: np.ndarray | None = None
+    name: str = "graph"
+    node_labels: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.adjacency = _to_csr(self.adjacency)
+        n = self.adjacency.shape[0]
+        diff = self.adjacency - self.adjacency.T
+        if diff.nnz and np.max(np.abs(diff.data)) > 1e-9:
+            raise GraphError("adjacency must be symmetric for undirected graphs")
+        if self.adjacency.diagonal().any():
+            raise GraphError("adjacency must not contain self-loops")
+        if self.features is not None:
+            feats = np.asarray(self.features, dtype=np.float64)
+            if feats.ndim != 2:
+                raise GraphError(f"features must be 2-D, got shape {feats.shape}")
+            if feats.shape[0] != n:
+                raise GraphError(
+                    f"features have {feats.shape[0]} rows for {n} nodes"
+                )
+            if not np.all(np.isfinite(feats)):
+                raise GraphError("features contain non-finite values")
+            self.features = feats
+        if self.node_labels is not None:
+            labels = np.asarray(self.node_labels)
+            if labels.shape[0] != n:
+                raise GraphError("node_labels length must equal n_nodes")
+            self.node_labels = labels
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.adjacency.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges (each edge counted once)."""
+        return int(self.adjacency.nnz // 2)
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality ``d`` (0 when the graph is plain)."""
+        return 0 if self.features is None else self.features.shape[1]
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Node degree vector."""
+        return np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    def dense_adjacency(self) -> np.ndarray:
+        """Return the adjacency as a dense float64 array."""
+        return self.adjacency.toarray()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return bool(self.adjacency[u, v] != 0)
+
+    def edge_list(self) -> np.ndarray:
+        """Return the ``m × 2`` array of edges with ``u < v``."""
+        coo = self.adjacency.tocoo()
+        mask = coo.row < coo.col
+        return np.column_stack([coo.row[mask], coo.col[mask]])
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_nodes: int,
+        edges,
+        features: np.ndarray | None = None,
+        name: str = "graph",
+    ) -> "AttributedGraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges, reversed duplicates and self-loops are dropped.
+        """
+        edges = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if edges.size:
+            if edges.min() < 0 or edges.max() >= n_nodes:
+                raise GraphError("edge endpoints out of range")
+            keep = edges[:, 0] != edges[:, 1]
+            edges = edges[keep]
+        if edges.size:
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            uniq = np.unique(np.column_stack([lo, hi]), axis=0)
+            row = np.concatenate([uniq[:, 0], uniq[:, 1]])
+            col = np.concatenate([uniq[:, 1], uniq[:, 0]])
+            data = np.ones(row.shape[0])
+        else:
+            row = col = np.empty(0, dtype=np.int64)
+            data = np.empty(0)
+        adj = sp.csr_array(
+            sp.coo_array((data, (row, col)), shape=(n_nodes, n_nodes))
+        )
+        return cls(adjacency=adj, features=features, name=name)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, features=None, name="graph") -> "AttributedGraph":
+        """Build from a :mod:`networkx` graph (node order = sorted nodes)."""
+        import networkx as nx
+
+        nodes = sorted(nx_graph.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]
+        return cls.from_edges(len(nodes), edges, features=features, name=name)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def with_features(self, features: np.ndarray | None) -> "AttributedGraph":
+        """Return a copy of this graph carrying different features."""
+        return AttributedGraph(
+            adjacency=self.adjacency.copy(),
+            features=None if features is None else np.array(features),
+            name=self.name,
+            node_labels=None if self.node_labels is None else self.node_labels.copy(),
+        )
+
+    def subgraph(self, nodes) -> "AttributedGraph":
+        """Induced subgraph on ``nodes`` (kept in the given order)."""
+        idx = np.asarray(nodes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_nodes):
+            raise GraphError("subgraph node indices out of range")
+        sub_adj = self.adjacency[idx][:, idx]
+        feats = None if self.features is None else self.features[idx]
+        labels = None if self.node_labels is None else self.node_labels[idx]
+        return AttributedGraph(
+            adjacency=sub_adj, features=feats, name=self.name, node_labels=labels
+        )
+
+    def copy(self) -> "AttributedGraph":
+        """Deep copy."""
+        return AttributedGraph(
+            adjacency=self.adjacency.copy(),
+            features=None if self.features is None else self.features.copy(),
+            name=self.name,
+            node_labels=None if self.node_labels is None else self.node_labels.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AttributedGraph(name={self.name!r}, n_nodes={self.n_nodes}, "
+            f"n_edges={self.n_edges}, n_features={self.n_features})"
+        )

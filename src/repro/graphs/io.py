@@ -1,0 +1,49 @@
+"""Saving/loading :class:`AttributedGraph` objects as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import AttributedGraph
+
+
+def save_graph(graph: AttributedGraph, path) -> None:
+    """Serialise a graph to a single ``.npz`` file."""
+    path = Path(path)
+    adj = graph.adjacency.tocoo()
+    payload = {
+        "n_nodes": np.array([graph.n_nodes], dtype=np.int64),
+        "row": adj.coords[0].astype(np.int64),
+        "col": adj.coords[1].astype(np.int64),
+        "data": adj.data,
+        "name": np.array([graph.name]),
+    }
+    if graph.features is not None:
+        payload["features"] = graph.features
+    if graph.node_labels is not None:
+        payload["node_labels"] = np.asarray(graph.node_labels)
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path) -> AttributedGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    if not path.exists():
+        raise GraphError(f"no such graph file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        n = int(archive["n_nodes"][0])
+        adj = sp.csr_array(
+            sp.coo_array(
+                (archive["data"], (archive["row"], archive["col"])), shape=(n, n)
+            )
+        )
+        features = archive["features"] if "features" in archive else None
+        labels = archive["node_labels"] if "node_labels" in archive else None
+        name = str(archive["name"][0])
+    return AttributedGraph(
+        adjacency=adj, features=features, name=name, node_labels=labels
+    )

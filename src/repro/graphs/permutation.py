@@ -1,0 +1,76 @@
+"""Node permutation and graph-pair construction (paper Sec. V-A).
+
+For the semi-synthetic datasets the paper treats the original graph as
+the source ``Gs`` and generates the target by a node permutation:
+``At = Pᵀ As P`` and ``Xt = Pᵀ Xs``.  The ground truth is the
+permutation itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import AttributedGraph
+from repro.utils.random import check_random_state
+
+
+def permutation_matrix(perm: np.ndarray) -> sp.csr_array:
+    """Sparse permutation matrix ``P`` with ``P[i, perm[i]] = 1``.
+
+    With this convention, source node ``i`` corresponds to target node
+    ``perm[i]``, and ``Pᵀ A P`` relabels rows/columns accordingly.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = perm.shape[0]
+    if sorted(perm.tolist()) != list(range(n)):
+        raise GraphError("perm must be a permutation of range(n)")
+    data = np.ones(n)
+    return sp.csr_array(sp.coo_array((data, (np.arange(n), perm)), shape=(n, n)))
+
+
+def permute_graph(
+    graph: AttributedGraph, perm: np.ndarray | None = None, seed=None
+) -> tuple[AttributedGraph, np.ndarray]:
+    """Return ``(permuted_graph, perm)`` where node ``i`` maps to ``perm[i]``.
+
+    Row ``perm[i]`` of the permuted graph is source node ``i``; both
+    the adjacency and feature matrix are relabelled consistently.
+    """
+    n = graph.n_nodes
+    if perm is None:
+        rng = check_random_state(seed)
+        perm = rng.permutation(n)
+    perm = np.asarray(perm, dtype=np.int64)
+    p_mat = permutation_matrix(perm)
+    new_adj = sp.csr_array(p_mat.T @ graph.adjacency @ p_mat)
+    new_feats = None
+    if graph.features is not None:
+        new_feats = np.empty_like(graph.features)
+        new_feats[perm] = graph.features
+    labels = None
+    if graph.node_labels is not None:
+        labels = np.empty_like(graph.node_labels)
+        labels[perm] = graph.node_labels
+    permuted = AttributedGraph(
+        adjacency=new_adj,
+        features=new_feats,
+        name=f"{graph.name}-permuted",
+        node_labels=labels,
+    )
+    return permuted, perm
+
+
+def ground_truth_from_permutation(perm: np.ndarray) -> np.ndarray:
+    """``m × 2`` array of (source index, target index) pairs."""
+    perm = np.asarray(perm, dtype=np.int64)
+    return np.column_stack([np.arange(perm.shape[0]), perm])
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[perm[i]] = i``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0])
+    return inv

@@ -1,0 +1,63 @@
+"""Optimal transport substrate: Sinkhorn, exact EMD, GW, fused GW."""
+
+from repro.ot.simplex import (
+    project_simplex,
+    project_concatenated_simplices,
+    is_in_simplex,
+)
+from repro.ot.sinkhorn import (
+    SinkhornResult,
+    sinkhorn,
+    sinkhorn_log,
+    sinkhorn_log_kernel_fast,
+    sinkhorn_projection,
+    transport_cost,
+)
+from repro.ot.exact import emd, emd_cost, wasserstein_1d
+from repro.ot.unbalanced import sinkhorn_unbalanced, partial_wasserstein
+from repro.ot.gromov import (
+    GWResult,
+    gw_constant_term,
+    gw_gradient,
+    gw_objective,
+    proximal_gromov_wasserstein,
+    entropic_gromov_wasserstein,
+    gromov_wasserstein_distance,
+)
+from repro.ot.fused import fused_gromov_wasserstein, feature_cost_matrix
+from repro.ot.matching import (
+    argmax_matching,
+    hungarian_matching,
+    greedy_matching,
+    top_k_candidates,
+)
+
+__all__ = [
+    "project_simplex",
+    "project_concatenated_simplices",
+    "is_in_simplex",
+    "SinkhornResult",
+    "sinkhorn",
+    "sinkhorn_log",
+    "sinkhorn_log_kernel_fast",
+    "sinkhorn_projection",
+    "transport_cost",
+    "emd",
+    "emd_cost",
+    "wasserstein_1d",
+    "sinkhorn_unbalanced",
+    "partial_wasserstein",
+    "GWResult",
+    "gw_constant_term",
+    "gw_gradient",
+    "gw_objective",
+    "proximal_gromov_wasserstein",
+    "entropic_gromov_wasserstein",
+    "gromov_wasserstein_distance",
+    "fused_gromov_wasserstein",
+    "feature_cost_matrix",
+    "argmax_matching",
+    "hungarian_matching",
+    "greedy_matching",
+    "top_k_candidates",
+]

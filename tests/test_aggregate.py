@@ -1,0 +1,43 @@
+"""Tests for multi-seed aggregation (repro.eval.aggregate)."""
+
+import pytest
+
+from repro.baselines import KNNAligner
+from repro.datasets import load_cora, make_semi_synthetic_pair
+from repro.eval import AggregateResult, format_aggregates, repeat_evaluation
+
+
+def pair_factory(seed):
+    return make_semi_synthetic_pair(
+        load_cora(scale=0.02), edge_noise=0.2, seed=seed
+    )
+
+
+class TestRepeatEvaluation:
+    def test_runs_requested_seeds(self):
+        out = repeat_evaluation(
+            pair_factory, KNNAligner, n_seeds=3, seed=0, ks=(1,)
+        )
+        assert len(out["hits@1"].values) == 3
+        assert len(out["runtime"].values) == 3
+
+    def test_statistics_consistent(self):
+        agg = AggregateResult("hits@1", [50.0, 60.0, 70.0])
+        assert agg.mean == pytest.approx(60.0)
+        assert agg.low == 50.0
+        assert agg.high == 70.0
+        assert agg.std == pytest.approx(8.1649658, rel=1e-6)
+
+    def test_deterministic_given_seed(self):
+        a = repeat_evaluation(pair_factory, KNNAligner, n_seeds=2, seed=5, ks=(1,))
+        b = repeat_evaluation(pair_factory, KNNAligner, n_seeds=2, seed=5, ks=(1,))
+        assert a["hits@1"].values == b["hits@1"].values
+
+    def test_invalid_n_seeds(self):
+        with pytest.raises(ValueError):
+            repeat_evaluation(pair_factory, KNNAligner, n_seeds=0)
+
+    def test_format_aggregates(self):
+        out = repeat_evaluation(pair_factory, KNNAligner, n_seeds=2, seed=1, ks=(1,))
+        text = format_aggregates({"KNN": out})
+        assert "KNN" in text and "hits@1" in text and "±" in text

@@ -1,0 +1,184 @@
+"""Tests for the seven comparison baselines (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FusedGWAligner,
+    GATAlignAligner,
+    GCNAlignAligner,
+    GWDAligner,
+    KNNAligner,
+    REGALAligner,
+    WAlignAligner,
+)
+from repro.datasets import make_semi_synthetic_pair
+from repro.eval import hits_at_k
+from repro.exceptions import GraphError
+from repro.graphs import erdos_renyi_graph, permute_features, stochastic_block_model
+from repro.graphs.features import community_bag_of_words
+
+
+def sbm_pair(seed=0, edge_noise=0.0, featperm=0.0):
+    graph = stochastic_block_model([14, 14, 14], 0.3, 0.02, seed=seed)
+    feats = community_bag_of_words(
+        graph.node_labels, 40, words_per_node=8, seed=seed + 1
+    )
+    graph = graph.with_features(feats)
+    graph.node_labels = None
+    transform = "permutation" if featperm else None
+    return make_semi_synthetic_pair(
+        graph,
+        edge_noise=edge_noise,
+        feature_transform=transform,
+        feature_noise=featperm,
+        seed=seed + 2,
+    )
+
+
+ALL_ALIGNERS = {
+    "KNN": lambda: KNNAligner(),
+    "GWD": lambda: GWDAligner(max_iter=60),
+    "FusedGW": lambda: FusedGWAligner(max_iter=60),
+    "REGAL": lambda: REGALAligner(seed=0),
+    "GCNAlign": lambda: GCNAlignAligner(n_epochs=15, seed=0),
+    "GATAlign": lambda: GATAlignAligner(n_epochs=8, seed=0),
+    "WAlign": lambda: WAlignAligner(n_epochs=15, seed=0),
+}
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", list(ALL_ALIGNERS))
+    def test_plan_shape_and_metadata(self, name):
+        pair = sbm_pair(seed=3)
+        result = ALL_ALIGNERS[name]().fit(pair.source, pair.target)
+        assert result.plan.shape == (pair.source.n_nodes, pair.target.n_nodes)
+        assert np.all(np.isfinite(result.plan))
+        assert result.runtime > 0
+        assert result.method == name
+
+    @pytest.mark.parametrize("name", ["KNN", "GWD", "FusedGW", "REGAL"])
+    def test_decent_on_clean_pair(self, name):
+        pair = sbm_pair(seed=4)
+        result = ALL_ALIGNERS[name]().fit(pair.source, pair.target)
+        floor = 5.0 if name == "REGAL" else 50.0
+        assert hits_at_k(result.plan, pair.ground_truth, 1) > floor
+
+    @pytest.mark.parametrize("name", ["GCNAlign", "GATAlign", "WAlign"])
+    def test_gnn_methods_beat_chance(self, name):
+        pair = sbm_pair(seed=5)
+        result = ALL_ALIGNERS[name]().fit(pair.source, pair.target)
+        chance = 100.0 / pair.target.n_nodes
+        assert hits_at_k(result.plan, pair.ground_truth, 1) > 3 * chance
+
+
+class TestKNN:
+    def test_requires_features(self):
+        g = erdos_renyi_graph(10, 0.3, seed=0)
+        with pytest.raises(GraphError):
+            KNNAligner().fit(g, g)
+
+    def test_immune_to_structure_noise(self):
+        clean = sbm_pair(seed=6)
+        noisy = sbm_pair(seed=6, edge_noise=0.6)
+        a = KNNAligner().fit(clean.source, clean.target)
+        b = KNNAligner().fit(noisy.source, noisy.target)
+        assert hits_at_k(a.plan, clean.ground_truth, 1) == pytest.approx(
+            hits_at_k(b.plan, noisy.ground_truth, 1)
+        )
+
+    def test_hurt_by_feature_permutation(self):
+        clean = sbm_pair(seed=7)
+        permuted = sbm_pair(seed=7, featperm=0.9)
+        a = KNNAligner().fit(clean.source, clean.target)
+        b = KNNAligner().fit(permuted.source, permuted.target)
+        assert hits_at_k(b.plan, permuted.ground_truth, 1) < hits_at_k(
+            a.plan, clean.ground_truth, 1
+        )
+
+    def test_pads_mismatched_dims(self):
+        pair = sbm_pair(seed=8)
+        narrower = pair.target.with_features(pair.target.features[:, :20])
+        result = KNNAligner().fit(pair.source, narrower)
+        assert result.plan.shape == (pair.source.n_nodes, narrower.n_nodes)
+
+
+class TestGWD:
+    def test_feature_blind(self):
+        """GWD ignores features entirely (immunity of Fig. 7)."""
+        pair = sbm_pair(seed=9)
+        permuted_target = permute_features(pair.target, 1.0, seed=10)
+        a = GWDAligner(max_iter=40).fit(pair.source, pair.target)
+        b = GWDAligner(max_iter=40).fit(pair.source, permuted_target)
+        np.testing.assert_allclose(a.plan, b.plan, atol=1e-12)
+
+    def test_reports_distance(self):
+        pair = sbm_pair(seed=11)
+        result = GWDAligner(max_iter=30).fit(pair.source, pair.target)
+        assert "gw_distance" in result.extras
+
+
+class TestFusedGW:
+    def test_requires_features(self):
+        g = erdos_renyi_graph(10, 0.3, seed=12)
+        with pytest.raises(GraphError):
+            FusedGWAligner().fit(g, g)
+
+    def test_alpha_one_matches_gwd_plan_quality(self):
+        pair = sbm_pair(seed=13)
+        fgw = FusedGWAligner(alpha=1.0, max_iter=40).fit(pair.source, pair.target)
+        gwd = GWDAligner(max_iter=40).fit(pair.source, pair.target)
+        np.testing.assert_allclose(fgw.plan, gwd.plan, atol=1e-8)
+
+
+class TestREGAL:
+    def test_works_without_features(self):
+        g = erdos_renyi_graph(30, 0.2, seed=14)
+        from repro.graphs import permute_graph
+
+        h, _ = permute_graph(g, seed=15)
+        result = REGALAligner(use_features=False, seed=0).fit(g, h)
+        assert result.plan.shape == (30, 30)
+
+    def test_embedding_dim_bounded_by_landmarks(self):
+        pair = sbm_pair(seed=16)
+        result = REGALAligner(n_landmarks=16, seed=0).fit(pair.source, pair.target)
+        assert result.extras["embedding_dim"] <= 16
+
+    def test_deterministic(self):
+        pair = sbm_pair(seed=17)
+        a = REGALAligner(seed=3).fit(pair.source, pair.target)
+        b = REGALAligner(seed=3).fit(pair.source, pair.target)
+        np.testing.assert_array_equal(a.plan, b.plan)
+
+
+class TestGNNAligners:
+    def test_gcnalign_loss_decreases(self):
+        pair = sbm_pair(seed=18)
+        result = GCNAlignAligner(n_epochs=20, seed=0).fit(pair.source, pair.target)
+        losses = result.extras["losses"]
+        assert len(losses) > 2
+        assert losses[-1] <= losses[0] + 1e-6
+
+    def test_walign_records_losses(self):
+        pair = sbm_pair(seed=19)
+        result = WAlignAligner(n_epochs=10, seed=0).fit(pair.source, pair.target)
+        assert len(result.extras["losses"]) == 10
+
+    def test_gnn_methods_degrade_under_feature_permutation(self):
+        """The cross-compare failure mode of Sec. III."""
+        clean = sbm_pair(seed=20)
+        permuted = sbm_pair(seed=20, featperm=1.0)
+        a = GCNAlignAligner(n_epochs=15, seed=0).fit(clean.source, clean.target)
+        b = GCNAlignAligner(n_epochs=15, seed=0).fit(
+            permuted.source, permuted.target
+        )
+        assert hits_at_k(b.plan, permuted.ground_truth, 1) <= hits_at_k(
+            a.plan, clean.ground_truth, 1
+        )
+
+    def test_requires_features(self):
+        g = erdos_renyi_graph(10, 0.3, seed=21)
+        for cls in (GCNAlignAligner, GATAlignAligner, WAlignAligner):
+            with pytest.raises(GraphError):
+                cls(n_epochs=2).fit(g, g)

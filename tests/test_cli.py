@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_defaults(self):
+        args = build_parser().parse_args(["align", "cora"])
+        assert args.method == "slotalign"
+        assert args.scale == 0.05
+
+
+class TestCommands:
+    def test_datasets_lists_catalogue(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cora" in out and "douban" in out
+
+    def test_stats_prints_summary(self, capsys):
+        assert main(["stats", "cora", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "average_degree" in out
+
+    def test_align_knn(self, capsys):
+        code = main(
+            [
+                "align",
+                "cora",
+                "--method",
+                "knn",
+                "--scale",
+                "0.02",
+                "--edge-noise",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hits@1" in out
+
+    def test_align_slotalign_small(self, capsys):
+        code = main(
+            [
+                "align",
+                "cora",
+                "--scale",
+                "0.02",
+                "--iters",
+                "30",
+                "--truncate-columns",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "runtime" in capsys.readouterr().out
+
+    def test_unknown_dataset_errors(self):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            main(["stats", "imdb"])

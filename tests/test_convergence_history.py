@@ -1,0 +1,46 @@
+"""Tests for IterateHistory (repro.core.convergence)."""
+
+import numpy as np
+
+from repro.core import IterateHistory
+
+
+class TestIterateHistory:
+    def test_record(self):
+        h = IterateHistory()
+        h.record(1.0, 0.1, 0.2)
+        h.record(0.5, 0.05, 0.1)
+        assert h.n_iterations == 2
+        assert h.objective_values == [1.0, 0.5]
+
+    def test_record_without_objective(self):
+        h = IterateHistory()
+        h.record(None, 0.1, 0.2)
+        assert h.objective_values == []
+        assert h.n_iterations == 1
+
+    def test_monotone_detection(self):
+        h = IterateHistory()
+        for value in (3.0, 2.0, 1.5, 1.5):
+            h.record(value, 0.0, 0.0)
+        assert h.is_monotone_decreasing()
+
+    def test_non_monotone_detected(self):
+        h = IterateHistory()
+        for value in (1.0, 2.0):
+            h.record(value, 0.0, 0.0)
+        assert not h.is_monotone_decreasing()
+
+    def test_slack_tolerated(self):
+        h = IterateHistory()
+        for value in (1.0, 1.0 + 1e-10):
+            h.record(value, 0.0, 0.0)
+        assert h.is_monotone_decreasing(slack=1e-8)
+
+    def test_total_squared_movement(self):
+        h = IterateHistory()
+        h.record(None, 3.0, 4.0)
+        assert h.total_squared_movement() == 25.0
+
+    def test_empty_history_monotone(self):
+        assert IterateHistory().is_monotone_decreasing()

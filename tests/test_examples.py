@@ -1,0 +1,31 @@
+"""The example scripts must run end-to-end (smoke integration tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "social_network_alignment.py",
+        "kg_alignment.py",
+        "robustness_study.py",
+        "large_graph_partition.py",
+    ],
+)
+def test_example_runs(script, capsys, monkeypatch):
+    """Each example executes without error and prints a report."""
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    # shrink the workload: examples read no CLI args, so just run them;
+    # they are already sized for demo-scale graphs
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 3

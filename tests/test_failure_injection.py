@@ -1,0 +1,99 @@
+"""Failure-injection tests: degenerate inputs must fail loudly or
+degrade gracefully, never return silent garbage."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KNNAligner
+from repro.core import SLOTAlign, SLOTAlignConfig
+from repro.exceptions import ConvergenceError, GraphError, ReproError
+from repro.graphs import AttributedGraph, erdos_renyi_graph, permute_graph
+from repro.ot import proximal_gromov_wasserstein, sinkhorn_log_kernel_fast
+
+FAST = SLOTAlignConfig(
+    n_bases=2, max_outer_iter=30, sinkhorn_iter=30, track_history=False
+)
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph_aligns_without_crash(self):
+        rng = np.random.default_rng(0)
+        g = AttributedGraph.from_edges(10, [], features=rng.random((10, 4)))
+        h, _ = permute_graph(g, seed=1)
+        result = SLOTAlign(FAST).fit(g, h)
+        assert np.all(np.isfinite(result.plan))
+
+    def test_single_node_graph(self):
+        g = AttributedGraph.from_edges(1, [], features=np.ones((1, 3)))
+        result = SLOTAlign(FAST).fit(g, g)
+        assert result.plan.shape == (1, 1)
+        assert result.plan[0, 0] == pytest.approx(1.0)
+
+    def test_zero_feature_matrix(self):
+        g = erdos_renyi_graph(12, 0.3, seed=2).with_features(np.zeros((12, 5)))
+        h, _ = permute_graph(g, seed=3)
+        result = SLOTAlign(FAST).fit(g, h)
+        assert np.all(np.isfinite(result.plan))
+
+    def test_featureless_needs_edge_only_views(self):
+        g = erdos_renyi_graph(10, 0.3, seed=4)
+        with pytest.raises(GraphError):
+            SLOTAlign(FAST).fit(g, g)
+        cfg = SLOTAlignConfig(
+            n_bases=1, include_views=("edge",), max_outer_iter=20,
+            track_history=False,
+        )
+        result = SLOTAlign(cfg).fit(g, g)
+        assert result.plan.shape == (10, 10)
+
+    def test_disconnected_components(self):
+        edges = [(0, 1), (1, 2), (5, 6), (6, 7)]  # nodes 3,4 isolated
+        rng = np.random.default_rng(5)
+        g = AttributedGraph.from_edges(8, edges, features=rng.random((8, 4)))
+        h, _ = permute_graph(g, seed=6)
+        result = SLOTAlign(FAST).fit(g, h)
+        assert np.all(np.isfinite(result.plan))
+
+    def test_wildly_different_sizes(self):
+        rng = np.random.default_rng(7)
+        small = erdos_renyi_graph(5, 0.5, seed=7).with_features(rng.random((5, 4)))
+        large = erdos_renyi_graph(60, 0.1, seed=8).with_features(rng.random((60, 4)))
+        result = SLOTAlign(FAST).fit(small, large)
+        assert result.plan.shape == (5, 60)
+
+
+class TestNumericalPoison:
+    def test_nan_features_rejected_at_construction(self):
+        feats = np.ones((5, 2))
+        feats[0, 0] = np.nan
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 0.5, seed=9).with_features(feats)
+
+    def test_nan_log_kernel_rejected(self):
+        mu = np.full(3, 1 / 3)
+        with pytest.raises(ConvergenceError):
+            sinkhorn_log_kernel_fast(np.full((3, 3), np.nan), mu, mu)
+
+    def test_huge_feature_values_stay_finite(self):
+        rng = np.random.default_rng(10)
+        g = erdos_renyi_graph(10, 0.4, seed=10).with_features(
+            rng.random((10, 3)) * 1e8
+        )
+        h, _ = permute_graph(g, seed=11)
+        result = SLOTAlign(FAST).fit(g, h)
+        assert np.all(np.isfinite(result.plan))
+
+    def test_gw_with_zero_cost_matrices(self):
+        zero = np.zeros((6, 6))
+        result = proximal_gromov_wasserstein(zero, zero, max_iter=10)
+        # uniform coupling is optimal and must be returned intact
+        np.testing.assert_allclose(result.plan, 1.0 / 36, atol=1e-9)
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_catchable_as_reproerror(self):
+        g = erdos_renyi_graph(5, 0.5, seed=12)
+        with pytest.raises(ReproError):
+            KNNAligner().fit(g, g)  # GraphError is a ReproError
+        with pytest.raises(ReproError):
+            g.subgraph([99])

@@ -1,0 +1,99 @@
+"""Tests for GCN/GAT layers (repro.gnn)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Tensor
+from repro.autodiff.functional import mse_loss
+from repro.gnn import GAT, GCN, GATLayer, GCNLayer, dense_normalized_adjacency
+from repro.graphs import erdos_renyi_graph
+
+
+def graph_and_adj(seed=0, n=15):
+    g = erdos_renyi_graph(n, 0.3, seed=seed)
+    return g, dense_normalized_adjacency(g)
+
+
+class TestGCN:
+    def test_output_shape(self):
+        g, adj = graph_and_adj()
+        model = GCN([4, 8, 3], seed=0)
+        out = model(adj, Tensor(np.random.default_rng(0).standard_normal((15, 4))))
+        assert out.shape == (15, 3)
+
+    def test_layer_is_propagate_then_linear(self):
+        g, adj = graph_and_adj(seed=1)
+        layer = GCNLayer(4, 2, activation="none", seed=0)
+        x = np.random.default_rng(1).standard_normal((15, 4))
+        out = layer(adj, Tensor(x))
+        expected = (adj @ x) @ layer.linear.weight.data + layer.linear.bias.data
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_trains_to_fit_target(self):
+        g, adj = graph_and_adj(seed=2)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((15, 4))
+        target = rng.standard_normal((15, 2))
+        model = GCN([4, 16, 2], seed=0)
+        optim = Adam(model.parameters(), lr=0.02)
+        first = None
+        for step in range(150):
+            loss = mse_loss(model(adj, Tensor(x)), target)
+            if step == 0:
+                first = loss.item()
+            model.zero_grad()
+            loss.backward()
+            optim.step()
+        assert loss.item() < 0.5 * first
+
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            GCN([4])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            GCNLayer(3, 3, activation="swish")
+
+    def test_deterministic_given_seed(self):
+        g, adj = graph_and_adj(seed=3)
+        x = np.random.default_rng(3).standard_normal((15, 4))
+        a = GCN([4, 6, 2], seed=42)(adj, Tensor(x)).data
+        b = GCN([4, 6, 2], seed=42)(adj, Tensor(x)).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGAT:
+    def test_output_shape(self):
+        g, _ = graph_and_adj(seed=4)
+        mask = g.dense_adjacency()
+        model = GAT([4, 8, 3], seed=0)
+        out = model(mask, Tensor(np.random.default_rng(4).standard_normal((15, 4))))
+        assert out.shape == (15, 3)
+
+    def test_attention_respects_mask(self):
+        """Disconnected nodes should not influence each other's output."""
+        adj = np.zeros((4, 4))
+        adj[0, 1] = adj[1, 0] = 1.0  # component {0,1}; {2},{3} isolated
+        layer = GATLayer(3, 2, activation="none", seed=0)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 3))
+        mask = adj + np.eye(4)
+        base = layer(mask, Tensor(x)).data
+        x2 = x.copy()
+        x2[3] += 10.0  # perturb an isolated node
+        moved = layer(mask, Tensor(x2)).data
+        np.testing.assert_allclose(base[:3], moved[:3], atol=1e-10)
+
+    def test_gradients_flow(self):
+        g, _ = graph_and_adj(seed=6)
+        mask = g.dense_adjacency()
+        model = GAT([4, 5], seed=0)
+        x = Tensor(np.random.default_rng(6).standard_normal((15, 4)))
+        loss = (model(mask, x) ** 2).sum()
+        loss.backward()
+        for param in model.parameters():
+            assert param.grad is not None
+
+    def test_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            GAT([4])

@@ -1,0 +1,124 @@
+"""Tests for repro.graphs.graph (AttributedGraph)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs import AttributedGraph
+
+
+def triangle(features=None):
+    return AttributedGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)], features=features)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = triangle()
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+
+    def test_duplicate_edges_collapsed(self):
+        g = AttributedGraph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_self_loops_dropped_in_from_edges(self):
+        g = AttributedGraph.from_edges(3, [(0, 0), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(GraphError):
+            AttributedGraph.from_edges(2, [(0, 5)])
+
+    def test_asymmetric_adjacency_rejected(self):
+        adj = np.zeros((2, 2))
+        adj[0, 1] = 1.0
+        with pytest.raises(GraphError):
+            AttributedGraph(adjacency=adj)
+
+    def test_self_loop_adjacency_rejected(self):
+        adj = np.eye(2)
+        with pytest.raises(GraphError):
+            AttributedGraph(adjacency=adj)
+
+    def test_rectangular_adjacency_rejected(self):
+        with pytest.raises(GraphError):
+            AttributedGraph(adjacency=np.ones((2, 3)))
+
+    def test_feature_row_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            triangle(features=np.ones((2, 4)))
+
+    def test_nan_features_rejected(self):
+        feats = np.ones((3, 2))
+        feats[0, 0] = np.nan
+        with pytest.raises(GraphError):
+            triangle(features=feats)
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        nxg = nx.path_graph(4)
+        g = AttributedGraph.from_networkx(nxg)
+        assert g.n_nodes == 4
+        assert g.n_edges == 3
+
+    def test_empty_graph(self):
+        g = AttributedGraph.from_edges(5, [])
+        assert g.n_edges == 0
+        assert np.all(g.degrees == 0)
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = AttributedGraph.from_edges(3, [(0, 1), (0, 2)])
+        np.testing.assert_array_equal(g.degrees, [2, 1, 1])
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_edge_list_ordering(self):
+        g = triangle()
+        edges = g.edge_list()
+        assert edges.shape == (3, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_n_features(self):
+        assert triangle().n_features == 0
+        assert triangle(features=np.ones((3, 7))).n_features == 7
+
+    def test_dense_adjacency_symmetric(self):
+        dense = triangle().dense_adjacency()
+        np.testing.assert_array_equal(dense, dense.T)
+
+
+class TestTransformations:
+    def test_with_features_copies(self):
+        g = triangle()
+        g2 = g.with_features(np.ones((3, 2)))
+        assert g2.n_features == 2
+        assert g.features is None
+
+    def test_subgraph_preserves_edges(self):
+        g = triangle(features=np.arange(6).reshape(3, 2).astype(float))
+        sub = g.subgraph([0, 2])
+        assert sub.n_nodes == 2
+        assert sub.n_edges == 1
+        np.testing.assert_array_equal(sub.features[1], g.features[2])
+
+    def test_subgraph_out_of_range(self):
+        with pytest.raises(GraphError):
+            triangle().subgraph([0, 9])
+
+    def test_copy_independent(self):
+        g = triangle(features=np.ones((3, 2)))
+        g2 = g.copy()
+        g2.features[0, 0] = 99.0
+        assert g.features[0, 0] == 1.0
+
+    def test_sparse_input_accepted(self):
+        adj = sp.csr_array(triangle().dense_adjacency())
+        g = AttributedGraph(adjacency=adj)
+        assert g.n_edges == 3

@@ -1,0 +1,92 @@
+"""Tests for the KG-alignment baselines (repro.baselines.kg_methods)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EVAAligner, LIMEAligner, MultiKEAligner, SelfKGAligner
+from repro.datasets import load_dbp15k
+from repro.eval import hits_at_k
+from repro.exceptions import GraphError
+from repro.graphs import erdos_renyi_graph
+
+
+@pytest.fixture(scope="module")
+def kg_pair():
+    return load_dbp15k("fr_en", scale=0.012, seed=7)
+
+
+class TestMultiKE:
+    def test_plan_shape(self, kg_pair):
+        result = MultiKEAligner().fit(kg_pair.source, kg_pair.target)
+        assert result.plan.shape == (
+            kg_pair.source.n_nodes,
+            kg_pair.target.n_nodes,
+        )
+
+    def test_beats_chance_on_high_agreement_subset(self, kg_pair):
+        result = MultiKEAligner().fit(kg_pair.source, kg_pair.target)
+        chance = 100.0 / kg_pair.target.n_nodes
+        assert hits_at_k(result.plan, kg_pair.ground_truth, 1) > 5 * chance
+
+    def test_requires_features(self):
+        g = erdos_renyi_graph(10, 0.3, seed=0)
+        with pytest.raises(GraphError):
+            MultiKEAligner().fit(g, g)
+
+    def test_views_recorded(self, kg_pair):
+        result = MultiKEAligner(view_hops=(0, 1)).fit(kg_pair.source, kg_pair.target)
+        assert result.extras["views"] == (0, 1)
+
+
+class TestEVA:
+    def test_plan_shape(self, kg_pair):
+        result = EVAAligner().fit(kg_pair.source, kg_pair.target)
+        assert result.plan.shape[0] == kg_pair.source.n_nodes
+
+    def test_pivot_fraction_validated(self):
+        with pytest.raises(ValueError):
+            EVAAligner(pivot_fraction=0.0)
+
+    def test_pivot_dim_recorded(self, kg_pair):
+        result = EVAAligner(pivot_fraction=0.25).fit(kg_pair.source, kg_pair.target)
+        assert result.extras["pivot_dim"] == int(
+            0.25 * max(kg_pair.source.n_features, kg_pair.target.n_features)
+        )
+
+
+class TestSelfKG:
+    def test_trains_and_aligns(self, kg_pair):
+        result = SelfKGAligner(n_epochs=8, seed=0).fit(kg_pair.source, kg_pair.target)
+        assert len(result.extras["losses"]) == 8
+        chance = 100.0 / kg_pair.target.n_nodes
+        assert hits_at_k(result.plan, kg_pair.ground_truth, 1) > chance
+
+
+class TestLIME:
+    def test_supervised_requires_seeds(self, kg_pair):
+        with pytest.raises(GraphError):
+            LIMEAligner().fit(kg_pair.source, kg_pair.target)
+
+    def test_seeds_help(self, kg_pair):
+        gt = kg_pair.ground_truth
+        seeds = gt[: max(2, len(gt) // 3)]
+        result = (
+            LIMEAligner().set_seeds(seeds).fit(kg_pair.source, kg_pair.target)
+        )
+        chance = 100.0 / kg_pair.target.n_nodes
+        assert hits_at_k(result.plan, gt, 1) > 5 * chance
+
+    def test_bad_seed_shape(self):
+        with pytest.raises(GraphError):
+            LIMEAligner().set_seeds(np.array([1, 2, 3]))
+
+    def test_reciprocal_flag(self, kg_pair):
+        gt = kg_pair.ground_truth
+        seeds = gt[:10]
+        a = LIMEAligner(reciprocal=False).set_seeds(seeds).fit(
+            kg_pair.source, kg_pair.target
+        )
+        b = LIMEAligner(reciprocal=True).set_seeds(seeds).fit(
+            kg_pair.source, kg_pair.target
+        )
+        assert not np.allclose(a.plan, b.plan)

@@ -1,0 +1,103 @@
+"""Tests for matching extraction (repro.ot.matching) and AlignmentResult."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlignmentResult
+from repro.exceptions import ShapeError
+from repro.ot import (
+    argmax_matching,
+    greedy_matching,
+    hungarian_matching,
+    top_k_candidates,
+)
+
+
+def diag_plan(n):
+    plan = np.full((n, n), 0.01)
+    np.fill_diagonal(plan, 1.0)
+    return plan
+
+
+class TestArgmax:
+    def test_diagonal(self):
+        np.testing.assert_array_equal(argmax_matching(diag_plan(4)), np.arange(4))
+
+    def test_not_necessarily_injective(self):
+        plan = np.array([[0.9, 0.1], [0.8, 0.2]])
+        np.testing.assert_array_equal(argmax_matching(plan), [0, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            argmax_matching(np.empty((0, 0)))
+
+
+class TestHungarian:
+    def test_diagonal(self):
+        np.testing.assert_array_equal(hungarian_matching(diag_plan(5)), np.arange(5))
+
+    def test_one_to_one(self):
+        rng = np.random.default_rng(0)
+        matching = hungarian_matching(rng.random((6, 6)))
+        assert len(set(matching.tolist())) == 6
+
+    def test_beats_argmax_on_conflict(self):
+        plan = np.array([[0.9, 0.8], [0.9, 0.1]])
+        matching = hungarian_matching(plan)
+        # hungarian resolves the conflict to maximise total score
+        assert matching[0] == 1 and matching[1] == 0
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(1)
+        matching = hungarian_matching(rng.random((3, 5)))
+        assert matching.shape == (3,)
+        assert len(set(matching.tolist())) == 3
+
+    def test_wide_rejected(self):
+        with pytest.raises(ShapeError):
+            hungarian_matching(np.ones((5, 3)))
+
+
+class TestGreedy:
+    def test_diagonal(self):
+        np.testing.assert_array_equal(greedy_matching(diag_plan(4)), np.arange(4))
+
+    def test_one_to_one(self):
+        rng = np.random.default_rng(2)
+        matching = greedy_matching(rng.random((7, 7)))
+        matched = matching[matching >= 0]
+        assert len(set(matched.tolist())) == len(matched)
+
+    def test_unmatched_marked_minus_one(self):
+        matching = greedy_matching(np.ones((4, 2)))
+        assert (matching == -1).sum() == 2
+
+
+class TestTopK:
+    def test_best_first(self):
+        plan = np.array([[0.1, 0.9, 0.5]])
+        np.testing.assert_array_equal(top_k_candidates(plan, 2), [[1, 2]])
+
+    def test_k_capped_at_columns(self):
+        plan = np.random.default_rng(3).random((3, 2))
+        assert top_k_candidates(plan, 10).shape == (3, 2)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            top_k_candidates(np.ones((2, 2)), 0)
+
+
+class TestAlignmentResult:
+    def test_matching_strategies(self):
+        result = AlignmentResult(plan=diag_plan(4))
+        for strategy in ("argmax", "greedy", "hungarian"):
+            np.testing.assert_array_equal(result.matching(strategy), np.arange(4))
+
+    def test_unknown_strategy(self):
+        result = AlignmentResult(plan=diag_plan(2))
+        with pytest.raises(ValueError):
+            result.matching("magic")
+
+    def test_top_k(self):
+        result = AlignmentResult(plan=diag_plan(3))
+        np.testing.assert_array_equal(result.top_k(1).ravel(), np.arange(3))

@@ -1,0 +1,111 @@
+"""Tests for evaluation metrics (repro.eval.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    alignment_accuracy,
+    evaluate_plan,
+    hits_at_k,
+    mean_reciprocal_rank,
+)
+from repro.exceptions import ShapeError
+
+
+def identity_gt(n):
+    return np.column_stack([np.arange(n), np.arange(n)])
+
+
+class TestHitsAtK:
+    def test_perfect_plan(self):
+        plan = np.eye(5)
+        assert hits_at_k(plan, identity_gt(5), 1) == 100.0
+
+    def test_worst_plan(self):
+        plan = 1.0 - np.eye(5)
+        assert hits_at_k(plan, identity_gt(5), 1) == 0.0
+
+    def test_k_widens_hits(self):
+        rng = np.random.default_rng(0)
+        plan = rng.random((20, 20))
+        gt = identity_gt(20)
+        assert hits_at_k(plan, gt, 10) >= hits_at_k(plan, gt, 1)
+
+    def test_all_ties_scored_at_mid_rank(self):
+        """A constant plan must NOT score 100 (optimistic tie-breaking
+        was a real bug: zero-feature rows made KNN look perfect)."""
+        plan = np.ones((10, 10))
+        assert hits_at_k(plan, identity_gt(10), 1) == 0.0
+        assert hits_at_k(plan, identity_gt(10), 10) == pytest.approx(100.0)
+
+    def test_partial_ground_truth(self):
+        plan = np.eye(6)
+        gt = np.array([[0, 0], [1, 2]])
+        assert hits_at_k(plan, gt, 1) == 50.0
+
+    def test_percentage_scale(self):
+        plan = np.eye(4)
+        assert 0.0 <= hits_at_k(plan, identity_gt(4), 1) <= 100.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            hits_at_k(np.eye(3), identity_gt(3), 0)
+
+    def test_empty_ground_truth(self):
+        assert hits_at_k(np.eye(3), np.empty((0, 2), dtype=int), 1) == 0.0
+
+    def test_out_of_range_gt(self):
+        with pytest.raises(ShapeError):
+            hits_at_k(np.eye(3), np.array([[0, 7]]), 1)
+
+    def test_rectangular_plan(self):
+        plan = np.zeros((3, 6))
+        plan[0, 4] = plan[1, 2] = plan[2, 5] = 1.0
+        gt = np.array([[0, 4], [1, 2], [2, 0]])
+        assert hits_at_k(plan, gt, 1) == pytest.approx(200 / 3)
+
+
+class TestMRR:
+    def test_perfect(self):
+        assert mean_reciprocal_rank(np.eye(4), identity_gt(4)) == pytest.approx(1.0)
+
+    def test_second_place(self):
+        plan = np.array([[0.5, 1.0], [0.1, 0.9]])
+        gt = np.array([[0, 0]])
+        assert mean_reciprocal_rank(plan, gt) == pytest.approx(0.5)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        plan = rng.random((8, 8))
+        mrr = mean_reciprocal_rank(plan, identity_gt(8))
+        assert 0.0 < mrr <= 1.0
+
+
+class TestAccuracy:
+    def test_matching_accuracy(self):
+        matching = np.array([1, 0, 2])
+        gt = np.array([[0, 1], [1, 0], [2, 2]])
+        assert alignment_accuracy(matching, gt) == 100.0
+
+    def test_partial(self):
+        matching = np.array([1, 1, 2])
+        gt = np.array([[0, 1], [1, 0], [2, 2]])
+        assert alignment_accuracy(matching, gt) == pytest.approx(200 / 3)
+
+    def test_gt_beyond_matching(self):
+        with pytest.raises(ShapeError):
+            alignment_accuracy(np.array([0]), np.array([[5, 0]]))
+
+
+class TestEvaluatePlan:
+    def test_keys(self):
+        report = evaluate_plan(np.eye(5), identity_gt(5), ks=(1, 5))
+        assert set(report) == {"hits@1", "hits@5", "mrr"}
+
+    def test_consistent_with_components(self):
+        rng = np.random.default_rng(2)
+        plan = rng.random((10, 10))
+        gt = identity_gt(10)
+        report = evaluate_plan(plan, gt, ks=(3,))
+        assert report["hits@3"] == hits_at_k(plan, gt, 3)
+        assert report["mrr"] == mean_reciprocal_rank(plan, gt)

@@ -1,0 +1,111 @@
+"""Tests for the joint objective (repro.core.objective, Eq. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import JointObjective, build_structure_bases
+from repro.exceptions import ShapeError
+from repro.graphs import erdos_renyi_graph
+from repro.ot import gw_objective
+
+
+def make_objective(seed=0, n=12, m=10, k=2):
+    rng = np.random.default_rng(seed)
+    gs = erdos_renyi_graph(n, 0.3, seed=seed).with_features(rng.random((n, 5)))
+    gt = erdos_renyi_graph(m, 0.3, seed=seed + 1).with_features(rng.random((m, 5)))
+    return JointObjective(
+        build_structure_bases(gs, k), build_structure_bases(gt, k)
+    )
+
+
+class TestValue:
+    def test_matches_bruteforce_eq9(self):
+        obj = make_objective(seed=2, n=6, m=5)
+        rng = np.random.default_rng(3)
+        beta_s = rng.dirichlet(np.ones(2))
+        beta_t = rng.dirichlet(np.ones(2))
+        plan = np.outer(np.full(6, 1 / 6), np.full(5, 1 / 5))
+        d_s, d_t = obj.combined(beta_s, beta_t)
+        expected = (
+            (d_s**2).sum() / 36
+            + (d_t**2).sum() / 25
+            - 2 * np.trace(d_s @ plan @ d_t @ plan.T)
+        )
+        assert obj.value(plan, beta_s, beta_t) == pytest.approx(expected, rel=1e-10)
+
+    def test_reduces_to_gw_at_vertex(self):
+        """At a simplex vertex, F equals the vanilla GW objective on that
+        basis (the reduction discussed under Eq. 8)."""
+        obj = make_objective(seed=4, n=8, m=8)
+        mu = np.full(8, 1 / 8)
+        plan = np.outer(mu, mu)
+        beta = np.array([1.0, 0.0])
+        value = obj.value(plan, beta, beta)
+        gw = gw_objective(
+            obj.source_bases[0], obj.target_bases[0], plan, mu=mu, nu=mu
+        )
+        assert value == pytest.approx(gw, rel=1e-10)
+
+
+class TestGradients:
+    def test_alpha_gradient_finite_differences(self):
+        obj = make_objective(seed=5, n=7, m=6)
+        rng = np.random.default_rng(6)
+        beta_s = rng.dirichlet(np.ones(2))
+        beta_t = rng.dirichlet(np.ones(2))
+        plan = np.outer(np.full(7, 1 / 7), np.full(6, 1 / 6))
+        grad = obj.alpha_gradient(plan, beta_s, beta_t)
+        eps = 1e-7
+        for q in range(2):
+            bumped = beta_s.copy()
+            bumped[q] += eps
+            fd = (obj.value(plan, bumped, beta_t) - obj.value(plan, beta_s, beta_t)) / eps
+            assert grad[q] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+            bumped_t = beta_t.copy()
+            bumped_t[q] += eps
+            fd_t = (
+                obj.value(plan, beta_s, bumped_t) - obj.value(plan, beta_s, beta_t)
+            ) / eps
+            assert grad[2 + q] == pytest.approx(fd_t, rel=1e-4, abs=1e-7)
+
+    def test_plan_gradient_finite_differences(self):
+        obj = make_objective(seed=7, n=5, m=4)
+        rng = np.random.default_rng(8)
+        beta_s = rng.dirichlet(np.ones(2))
+        beta_t = rng.dirichlet(np.ones(2))
+        plan = rng.random((5, 4))
+        plan /= plan.sum()
+        grad = obj.plan_gradient(plan, beta_s, beta_t)
+        eps = 1e-7
+        for i in range(5):
+            for j in range(4):
+                bumped = plan.copy()
+                bumped[i, j] += eps
+                fd = (
+                    obj.value(bumped, beta_s, beta_t)
+                    - obj.value(plan, beta_s, beta_t)
+                ) / eps
+                assert grad[i, j] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+
+class TestStructure:
+    def test_gram_matrices_symmetric_psd(self):
+        obj = make_objective(seed=9, k=3)
+        for gram in (obj.gram_source, obj.gram_target):
+            np.testing.assert_allclose(gram, gram.T)
+            eigs = np.linalg.eigvalsh(gram)
+            assert eigs.min() > -1e-8
+
+    def test_mismatched_counts_rejected(self):
+        obj_bases = make_objective(seed=10)
+        with pytest.raises(ShapeError):
+            JointObjective(obj_bases.source_bases, obj_bases.target_bases[:1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            JointObjective([], [])
+
+    def test_lipschitz_estimates_positive(self):
+        obj = make_objective(seed=11)
+        l_alpha, l_pi = obj.lipschitz_estimates()
+        assert l_alpha > 0 and l_pi > 0

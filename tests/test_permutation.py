@@ -1,0 +1,81 @@
+"""Tests for node permutation / pair construction (repro.graphs.permutation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    erdos_renyi_graph,
+    ground_truth_from_permutation,
+    invert_permutation,
+    permutation_matrix,
+    permute_graph,
+)
+
+
+def featured_graph(seed=0):
+    g = erdos_renyi_graph(25, 0.2, seed=seed)
+    rng = np.random.default_rng(seed + 100)
+    return g.with_features(rng.random((25, 8)))
+
+
+class TestPermutationMatrix:
+    def test_is_permutation(self):
+        p = permutation_matrix(np.array([2, 0, 1])).toarray()
+        np.testing.assert_array_equal(p.sum(axis=0), 1)
+        np.testing.assert_array_equal(p.sum(axis=1), 1)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GraphError):
+            permutation_matrix(np.array([0, 0, 1]))
+
+
+class TestPermuteGraph:
+    def test_edge_count_preserved(self):
+        g = featured_graph()
+        h, _ = permute_graph(g, seed=1)
+        assert h.n_edges == g.n_edges
+
+    def test_adjacency_relabelled_consistently(self):
+        g = featured_graph(seed=2)
+        h, perm = permute_graph(g, seed=3)
+        a, b = g.dense_adjacency(), h.dense_adjacency()
+        for u, v in g.edge_list():
+            assert b[perm[u], perm[v]] == a[u, v]
+
+    def test_features_follow_nodes(self):
+        g = featured_graph(seed=4)
+        h, perm = permute_graph(g, seed=5)
+        for i in range(g.n_nodes):
+            np.testing.assert_array_equal(h.features[perm[i]], g.features[i])
+
+    def test_degree_multiset_invariant(self):
+        g = featured_graph(seed=6)
+        h, _ = permute_graph(g, seed=7)
+        np.testing.assert_array_equal(np.sort(g.degrees), np.sort(h.degrees))
+
+    def test_explicit_permutation(self):
+        g = featured_graph(seed=8)
+        perm = np.roll(np.arange(25), 5)
+        h, returned = permute_graph(g, perm=perm)
+        np.testing.assert_array_equal(returned, perm)
+
+    def test_matches_matrix_formula(self):
+        """Permuted adjacency equals P^T A P (paper Sec. V-A)."""
+        g = featured_graph(seed=9)
+        h, perm = permute_graph(g, seed=10)
+        p = permutation_matrix(perm).toarray()
+        expected = p.T @ g.dense_adjacency() @ p
+        np.testing.assert_allclose(h.dense_adjacency(), expected, atol=1e-12)
+
+
+class TestHelpers:
+    def test_ground_truth_pairs(self):
+        gt = ground_truth_from_permutation(np.array([1, 2, 0]))
+        np.testing.assert_array_equal(gt, [[0, 1], [1, 2], [2, 0]])
+
+    def test_invert_permutation(self):
+        perm = np.array([2, 0, 3, 1])
+        inv = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], np.arange(4))
+        np.testing.assert_array_equal(inv[perm], np.arange(4))

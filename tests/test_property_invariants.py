@@ -1,0 +1,144 @@
+"""Cross-module property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_structure_bases, combine_bases, normalize_basis
+from repro.graphs import (
+    erdos_renyi_graph,
+    invert_permutation,
+    permute_graph,
+    perturb_edges,
+)
+from repro.ot import (
+    gw_objective,
+    project_simplex,
+    sinkhorn_log_kernel_fast,
+)
+
+
+@st.composite
+def seeded_graph(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    n = draw(st.integers(min_value=8, max_value=25))
+    g = erdos_renyi_graph(n, 0.3, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    return g.with_features(rng.random((n, 6)))
+
+
+class TestGraphInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seeded_graph(), st.integers(min_value=0, max_value=10**6))
+    def test_permutation_preserves_spectrum(self, graph, seed):
+        permuted, _ = permute_graph(graph, seed=seed)
+        a = np.sort(np.linalg.eigvalsh(graph.dense_adjacency()))
+        b = np.sort(np.linalg.eigvalsh(permuted.dense_adjacency()))
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeded_graph(), st.integers(min_value=0, max_value=10**6))
+    def test_double_permutation_roundtrip(self, graph, seed):
+        permuted, perm = permute_graph(graph, seed=seed)
+        back, _ = permute_graph(permuted, perm=invert_permutation(perm))
+        np.testing.assert_array_equal(
+            back.dense_adjacency(), graph.dense_adjacency()
+        )
+        np.testing.assert_allclose(back.features, graph.features)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seeded_graph(),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_perturbation_never_adds_self_loops(self, graph, ratio, seed):
+        out = perturb_edges(graph, ratio, seed=seed)
+        assert not out.adjacency.diagonal().any()
+
+
+class TestViewInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seeded_graph(), st.integers(min_value=1, max_value=5))
+    def test_bases_symmetric_and_normalised(self, graph, k):
+        for basis in build_structure_bases(graph, k):
+            np.testing.assert_allclose(basis, basis.T, atol=1e-9)
+            norm = np.linalg.norm(basis)
+            if norm > 1e-9:
+                assert norm == 1.0 * basis.shape[0] or abs(
+                    norm - basis.shape[0]
+                ) < 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_combination_linear_in_weights(self, k, seed):
+        rng = np.random.default_rng(seed)
+        bases = [rng.random((4, 4)) for _ in range(k)]
+        w1 = rng.dirichlet(np.ones(k))
+        w2 = rng.dirichlet(np.ones(k))
+        lam = 0.3
+        mixed = combine_bases(bases, lam * w1 + (1 - lam) * w2)
+        expected = lam * combine_bases(bases, w1) + (1 - lam) * combine_bases(
+            bases, w2
+        )
+        np.testing.assert_allclose(mixed, expected, atol=1e-10)
+
+
+class TestOTInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_fast_sinkhorn_rows_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = rng.integers(3, 12), rng.integers(3, 12)
+        log_kernel = rng.standard_normal((n, m)) * 2
+        mu = rng.dirichlet(np.ones(n))
+        nu = rng.dirichlet(np.ones(m))
+        plan = sinkhorn_log_kernel_fast(log_kernel, mu, nu, max_iter=200).plan
+        np.testing.assert_allclose(plan.sum(axis=1), mu, atol=1e-10)
+        assert np.all(plan >= 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_gw_objective_symmetric_in_arguments(self, seed):
+        """Swapping (Ds, Dt) and transposing pi leaves E unchanged."""
+        rng = np.random.default_rng(seed)
+        n, m = 5, 7
+        ds = rng.random((n, n))
+        ds = (ds + ds.T) / 2
+        dt = rng.random((m, m))
+        dt = (dt + dt.T) / 2
+        mu, nu = np.full(n, 1 / n), np.full(m, 1 / m)
+        plan = np.outer(mu, nu)
+        forward = gw_objective(ds, dt, plan, mu=mu, nu=nu)
+        backward = gw_objective(dt, ds, plan.T, mu=nu, nu=mu)
+        np.testing.assert_allclose(forward, backward, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-20, max_value=20, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    def test_simplex_projection_shift_covariant_direction(self, values, shift):
+        """Adding a constant to v does not change its projection."""
+        v = np.array(values)
+        a = project_simplex(v)
+        b = project_simplex(v + shift)
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+class TestBasisNormalisation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        basis = rng.random((5, 5))
+        once = normalize_basis(basis)
+        twice = normalize_basis(once)
+        np.testing.assert_allclose(once, twice, atol=1e-10)

@@ -1,0 +1,56 @@
+"""Tests for report formatting (repro.eval.reporting)."""
+
+from repro.eval import SweepResult, format_sweep, format_table
+
+
+class TestFormatTable:
+    def test_contains_rows_and_columns(self):
+        rows = {
+            "SLOTAlign": {"hits@1": 66.0, "time": 4.9},
+            "KNN": {"hits@1": 3.31, "time": 0.9},
+        }
+        text = format_table(rows, title="Table II")
+        assert "Table II" in text
+        assert "SLOTAlign" in text
+        assert "66.00" in text
+        assert "hits@1" in text
+
+    def test_missing_column_dash(self):
+        rows = {"a": {"x": 1.0}, "b": {}}
+        text = format_table(rows, columns=["x"])
+        assert "-" in text
+
+    def test_empty(self):
+        assert "empty" in format_table({})
+
+    def test_column_order_respected(self):
+        rows = {"m": {"b": 1.0, "a": 2.0}}
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+
+class TestFormatSweep:
+    def test_levels_and_methods(self):
+        sweep = [
+            SweepResult("SLOTAlign", [0.0, 0.2], [100.0, 90.0]),
+            SweepResult("GWD", [0.0, 0.2], [100.0, 10.0]),
+        ]
+        text = format_sweep(sweep, title="Fig. 6")
+        assert "Fig. 6" in text
+        assert "SLOTAlign" in text
+        assert "0.20" in text
+        assert "90.0" in text
+
+    def test_empty(self):
+        assert "empty" in format_sweep([])
+
+    def test_as_dict_roundtrip(self):
+        sweep = SweepResult("m", [0.1], [50.0], [1.2])
+        payload = sweep.as_dict()
+        assert payload == {
+            "method": "m",
+            "levels": [0.1],
+            "hits": [50.0],
+            "runtimes": [1.2],
+        }

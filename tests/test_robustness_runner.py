@@ -1,0 +1,77 @@
+"""Tests for the sweep runner (repro.eval.robustness)."""
+
+import numpy as np
+
+from repro.baselines import GWDAligner, KNNAligner
+from repro.datasets import load_cora, make_semi_synthetic_pair, truncate_feature_columns
+from repro.eval import evaluate_on_pair, run_feature_sweep, run_structure_sweep
+
+
+def tiny_graph():
+    return truncate_feature_columns(load_cora(scale=0.025), 100)
+
+
+class TestStructureSweep:
+    def test_shapes_and_levels(self):
+        graph = tiny_graph()
+        aligners = {"KNN": KNNAligner(), "GWD": GWDAligner(max_iter=20)}
+        results = run_structure_sweep(graph, aligners, levels=(0.0, 0.3), seed=0)
+        assert {r.method for r in results} == {"KNN", "GWD"}
+        for r in results:
+            assert r.levels == [0.0, 0.3]
+            assert len(r.hits) == 2
+            assert len(r.runtimes) == 2
+
+    def test_knn_flat_gwd_degrades(self):
+        graph = tiny_graph()
+        aligners = {"KNN": KNNAligner(), "GWD": GWDAligner(max_iter=40)}
+        results = {
+            r.method: r
+            for r in run_structure_sweep(
+                graph, aligners, levels=(0.0, 0.5), seed=1
+            )
+        }
+        knn = results["KNN"].hits
+        gwd = results["GWD"].hits
+        assert knn[1] == knn[0]  # feature-only: structure-noise immune
+        assert gwd[1] < gwd[0]  # structure-only: collapses
+
+
+class TestFeatureSweep:
+    def test_knn_degrades_under_permutation(self):
+        graph = tiny_graph()
+        aligners = {"KNN": KNNAligner()}
+        results = run_feature_sweep(
+            graph,
+            aligners,
+            levels=(0.0, 0.8),
+            transform="permutation",
+            edge_noise=0.0,
+            seed=2,
+        )
+        hits = results[0].hits
+        assert hits[1] < hits[0]
+
+    def test_truncation_transform_applies(self):
+        graph = tiny_graph()
+        results = run_feature_sweep(
+            graph,
+            {"KNN": KNNAligner()},
+            levels=(0.5,),
+            transform="truncation",
+            seed=3,
+        )
+        assert len(results[0].hits) == 1
+
+
+class TestEvaluateOnPair:
+    def test_table_structure(self):
+        graph = tiny_graph()
+        pair = make_semi_synthetic_pair(graph, edge_noise=0.1, seed=4)
+        table = evaluate_on_pair(
+            {"KNN": KNNAligner()}, pair, ks=(1, 5)
+        )
+        row = table["KNN"]
+        assert set(row) == {"hits@1", "hits@5", "time"}
+        assert row["hits@5"] >= row["hits@1"]
+        assert np.isfinite(row["time"])

@@ -1,0 +1,118 @@
+"""Tests for the Duchi simplex projection (repro.ot.simplex)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.ot import is_in_simplex, project_concatenated_simplices, project_simplex
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex_unchanged(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_simplex(v), v, atol=1e-12)
+
+    def test_uniform_from_constant(self):
+        out = project_simplex(np.full(4, 10.0))
+        np.testing.assert_allclose(out, 0.25)
+
+    def test_single_element(self):
+        np.testing.assert_allclose(project_simplex(np.array([-3.0])), [1.0])
+
+    def test_dominant_coordinate(self):
+        out = project_simplex(np.array([100.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0])
+
+    def test_custom_radius(self):
+        out = project_simplex(np.array([1.0, 1.0]), radius=4.0)
+        np.testing.assert_allclose(out, [2.0, 2.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            project_simplex(np.ones((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            project_simplex(np.array([]))
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.ones(3), radius=0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_output_always_on_simplex(self, values):
+        out = project_simplex(np.array(values))
+        assert is_in_simplex(out, atol=1e-7)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=2,
+            max_size=15,
+        )
+    )
+    def test_projection_is_closest_point(self, values):
+        """The projection beats random simplex points in distance."""
+        v = np.array(values)
+        proj = project_simplex(v)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            candidate = rng.dirichlet(np.ones(v.shape[0]))
+            assert np.linalg.norm(v - proj) <= np.linalg.norm(v - candidate) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_idempotent(self, values):
+        once = project_simplex(np.array(values))
+        twice = project_simplex(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    def test_order_preserving(self):
+        v = np.array([3.0, 1.0, 2.0])
+        out = project_simplex(v)
+        assert out[0] >= out[2] >= out[1]
+
+
+class TestConcatenatedSimplices:
+    def test_two_blocks(self):
+        alpha = np.array([5.0, 0.0, 0.0, 5.0])
+        out = project_concatenated_simplices(alpha, 2)
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0, 1.0])
+
+    def test_block_sums(self):
+        rng = np.random.default_rng(1)
+        alpha = rng.standard_normal(8)
+        out = project_concatenated_simplices(alpha, 4)
+        assert out[:4].sum() == pytest.approx(1.0)
+        assert out[4:].sum() == pytest.approx(1.0)
+
+    def test_bad_block_size(self):
+        with pytest.raises(ShapeError):
+            project_concatenated_simplices(np.ones(5), 2)
+
+
+class TestIsInSimplex:
+    def test_accepts_valid(self):
+        assert is_in_simplex(np.array([0.5, 0.5]))
+
+    def test_rejects_negative(self):
+        assert not is_in_simplex(np.array([1.5, -0.5]))
+
+    def test_rejects_wrong_sum(self):
+        assert not is_in_simplex(np.array([0.3, 0.3]))

@@ -1,0 +1,131 @@
+"""Tests for Sinkhorn solvers (repro.ot.sinkhorn)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError, ShapeError
+from repro.ot import (
+    emd,
+    sinkhorn,
+    sinkhorn_log,
+    sinkhorn_projection,
+    transport_cost,
+)
+
+
+def random_problem(n, m, seed=0):
+    rng = np.random.default_rng(seed)
+    cost = rng.random((n, m))
+    mu = rng.dirichlet(np.ones(n))
+    nu = rng.dirichlet(np.ones(m))
+    return cost, mu, nu
+
+
+class TestSinkhorn:
+    def test_marginals_satisfied(self):
+        cost, mu, nu = random_problem(6, 8)
+        result = sinkhorn(cost, mu, nu, epsilon=0.1)
+        np.testing.assert_allclose(result.plan.sum(axis=1), mu, atol=1e-6)
+        np.testing.assert_allclose(result.plan.sum(axis=0), nu, atol=1e-6)
+
+    def test_nonnegative_plan(self):
+        cost, mu, nu = random_problem(5, 5, seed=1)
+        result = sinkhorn(cost, mu, nu, epsilon=0.05)
+        assert np.all(result.plan >= 0)
+
+    def test_converged_flag(self):
+        cost, mu, nu = random_problem(4, 4, seed=2)
+        result = sinkhorn(cost, mu, nu, epsilon=0.5, max_iter=2000)
+        assert result.converged
+
+    def test_invalid_epsilon(self):
+        cost, mu, nu = random_problem(3, 3)
+        with pytest.raises(ValueError):
+            sinkhorn(cost, mu, nu, epsilon=-1.0)
+
+    def test_underflow_raises(self):
+        # an entire row underflows to zero in the kernel domain
+        cost = np.array([[1e6, 1e6], [0.0, 0.0]])
+        mu = nu = np.array([0.5, 0.5])
+        with pytest.raises(ConvergenceError):
+            sinkhorn(cost, mu, nu, epsilon=1e-4)
+
+    def test_bad_marginal_shape(self):
+        cost, mu, nu = random_problem(3, 4)
+        with pytest.raises(ShapeError):
+            sinkhorn(cost, mu[:2], nu)
+
+
+class TestSinkhornLog:
+    def test_agrees_with_kernel_domain(self):
+        cost, mu, nu = random_problem(7, 5, seed=3)
+        a = sinkhorn(cost, mu, nu, epsilon=0.2, max_iter=3000, tol=1e-12)
+        b = sinkhorn_log(cost, mu, nu, epsilon=0.2, max_iter=3000, tol=1e-12)
+        np.testing.assert_allclose(a.plan, b.plan, atol=1e-6)
+
+    def test_stable_at_tiny_epsilon(self):
+        cost, mu, nu = random_problem(6, 6, seed=4)
+        result = sinkhorn_log(cost, mu, nu, epsilon=1e-3, max_iter=5000)
+        assert np.all(np.isfinite(result.plan))
+        np.testing.assert_allclose(result.plan.sum(axis=1), mu, atol=1e-5)
+
+    def test_approaches_emd_as_epsilon_shrinks(self):
+        cost, mu, nu = random_problem(5, 5, seed=5)
+        exact_plan = emd(cost, mu, nu)
+        exact_cost = transport_cost(exact_plan, cost)
+        loose = transport_cost(
+            sinkhorn_log(cost, mu, nu, epsilon=0.5, max_iter=2000).plan, cost
+        )
+        tight = transport_cost(
+            sinkhorn_log(cost, mu, nu, epsilon=0.005, max_iter=20000).plan, cost
+        )
+        assert abs(tight - exact_cost) < abs(loose - exact_cost)
+        assert abs(tight - exact_cost) < 1e-2
+
+    def test_log_kernel_entry_point(self):
+        _, mu, nu = random_problem(4, 6, seed=6)
+        log_kernel = np.zeros((4, 6))
+        result = sinkhorn_log(None, mu, nu, log_kernel=log_kernel)
+        # projecting the uniform kernel gives the independent coupling
+        np.testing.assert_allclose(result.plan, np.outer(mu, nu), atol=1e-8)
+
+    def test_nan_kernel_rejected(self):
+        _, mu, nu = random_problem(3, 3)
+        log_kernel = np.full((3, 3), np.nan)
+        with pytest.raises(ConvergenceError):
+            sinkhorn_log(None, mu, nu, log_kernel=log_kernel)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=2, max_value=10))
+    def test_marginals_property(self, n, m):
+        cost, mu, nu = random_problem(n, m, seed=n * 31 + m)
+        result = sinkhorn_log(cost, mu, nu, epsilon=0.1, max_iter=2000)
+        np.testing.assert_allclose(result.plan.sum(axis=1), mu, atol=1e-5)
+        np.testing.assert_allclose(result.plan.sum(axis=0), nu, atol=1e-5)
+
+
+class TestSinkhornProjection:
+    def test_projects_kernel(self):
+        rng = np.random.default_rng(7)
+        kernel = rng.random((5, 5)) + 0.1
+        mu = nu = np.full(5, 0.2)
+        result = sinkhorn_projection(kernel, mu, nu, max_iter=2000)
+        np.testing.assert_allclose(result.plan.sum(axis=1), mu, atol=1e-7)
+
+    def test_negative_kernel_rejected(self):
+        mu = nu = np.array([0.5, 0.5])
+        with pytest.raises(ValueError):
+            sinkhorn_projection(np.array([[1.0, -1.0], [1.0, 1.0]]), mu, nu)
+
+
+class TestTransportCost:
+    def test_value(self):
+        plan = np.eye(2) / 2
+        cost = np.array([[1.0, 5.0], [5.0, 3.0]])
+        assert transport_cost(plan, cost) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            transport_cost(np.eye(2), np.eye(3))

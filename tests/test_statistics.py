@@ -1,0 +1,121 @@
+"""Tests for graph statistics + dataset-character validation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_cora, load_ppi, make_semi_synthetic_pair
+from repro.exceptions import GraphError
+from repro.graphs import (
+    AttributedGraph,
+    average_degree,
+    clustering_coefficient,
+    degree_gini,
+    density,
+    edge_overlap,
+    erdos_renyi_graph,
+    feature_sparsity,
+    modularity,
+    stochastic_block_model,
+    structural_summary,
+    watts_strogatz_graph,
+)
+
+
+def triangle_plus_leaf():
+    return AttributedGraph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestBasicStatistics:
+    def test_average_degree(self):
+        assert average_degree(triangle_plus_leaf()) == pytest.approx(2.0)
+
+    def test_density(self):
+        g = triangle_plus_leaf()
+        assert density(g) == pytest.approx(4 / 6)
+
+    def test_density_trivial(self):
+        assert density(AttributedGraph.from_edges(1, [])) == 0.0
+
+    def test_clustering_of_triangle(self):
+        g = AttributedGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_clustering_of_star_zero(self):
+        g = AttributedGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert clustering_coefficient(g) == 0.0
+
+    def test_gini_regular_graph_zero(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert degree_gini(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_star_high(self):
+        # star on n=10: degrees [9, 1x9] -> Gini = 0.4 exactly
+        g = AttributedGraph.from_edges(10, [(0, i) for i in range(1, 10)])
+        assert degree_gini(g) == pytest.approx(0.4, abs=1e-9)
+        # and far above the regular-graph value of 0
+        assert degree_gini(g) > 0.3
+
+    def test_modularity_of_sbm_positive(self):
+        g = stochastic_block_model([20, 20], 0.4, 0.02, seed=0)
+        assert modularity(g) > 0.2
+
+    def test_modularity_requires_labels(self):
+        g = erdos_renyi_graph(10, 0.3, seed=1)
+        with pytest.raises(GraphError):
+            modularity(g)
+
+    def test_feature_sparsity(self):
+        g = triangle_plus_leaf().with_features(np.eye(4))
+        assert feature_sparsity(g) == pytest.approx(0.75)
+
+    def test_summary_bundle(self):
+        g = stochastic_block_model([10, 10], 0.4, 0.05, seed=2).with_features(
+            np.eye(20)
+        )
+        g.node_labels = np.repeat([0, 1], 10)
+        summary = structural_summary(g)
+        assert {"n_nodes", "average_degree", "clustering", "modularity"} <= set(
+            summary
+        )
+
+
+class TestEdgeOverlap:
+    def test_identical_graphs(self):
+        g = erdos_renyi_graph(15, 0.3, seed=3)
+        assert edge_overlap(g, g) == 1.0
+
+    def test_perturbation_reduces_overlap(self):
+        from repro.graphs import perturb_edges
+
+        g = erdos_renyi_graph(30, 0.2, seed=4)
+        mild = edge_overlap(g, perturb_edges(g, 0.1, seed=5))
+        heavy = edge_overlap(g, perturb_edges(g, 0.6, seed=5))
+        assert mild > heavy
+
+    def test_size_mismatch(self):
+        with pytest.raises(GraphError):
+            edge_overlap(erdos_renyi_graph(5, 0.5, seed=6), erdos_renyi_graph(6, 0.5, seed=7))
+
+
+class TestDatasetCharacter:
+    """The stand-ins must exhibit the real datasets' statistics."""
+
+    def test_cora_standin_sparse_and_clustered(self):
+        g = load_cora(scale=0.1)
+        assert 2.0 < average_degree(g) < 7.0  # paper: 3.9
+        assert feature_sparsity(g) > 0.95  # bag-of-words is sparse
+
+    def test_ppi_standin_dense(self):
+        g = load_ppi(scale=0.1)
+        assert average_degree(g) > 10.0  # paper: ~18
+
+    def test_edge_noise_overlap_tracks_ratio(self):
+        g = load_cora(scale=0.05)
+        pair = make_semi_synthetic_pair(g, edge_noise=0.4, seed=0)
+        perm = pair.ground_truth[:, 1]
+        # relabel target back to source ids to compare edge sets
+        inverse = np.argsort(perm)
+        relabelled = pair.target.subgraph(perm)
+        overlap = edge_overlap(pair.source, relabelled)
+        # moving 40% of edges leaves roughly 60/140 Jaccard overlap
+        assert 0.25 < overlap < 0.6

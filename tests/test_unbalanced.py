@@ -1,0 +1,86 @@
+"""Tests for unbalanced / partial OT (repro.ot.unbalanced)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.ot import sinkhorn_log, sinkhorn_unbalanced, partial_wasserstein
+
+
+def random_problem(n, m, seed=0):
+    rng = np.random.default_rng(seed)
+    cost = rng.random((n, m))
+    mu = rng.dirichlet(np.ones(n))
+    nu = rng.dirichlet(np.ones(m))
+    return cost, mu, nu
+
+
+class TestUnbalancedSinkhorn:
+    def test_plan_nonnegative_finite(self):
+        cost, mu, nu = random_problem(6, 8)
+        result = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.1, rho=1.0)
+        assert np.all(result.plan >= 0)
+        assert np.all(np.isfinite(result.plan))
+
+    def test_large_rho_approaches_balanced(self):
+        cost, mu, nu = random_problem(5, 5, seed=1)
+        balanced = sinkhorn_log(cost, mu, nu, epsilon=0.1, max_iter=5000).plan
+        relaxed = sinkhorn_unbalanced(
+            cost, mu, nu, epsilon=0.1, rho=1000.0, max_iter=5000
+        ).plan
+        np.testing.assert_allclose(relaxed, balanced, atol=5e-3)
+
+    def test_small_rho_sheds_mass_from_expensive_rows(self):
+        """A row whose every target is expensive should lose mass."""
+        cost = np.full((3, 3), 0.1)
+        cost[0, :] = 10.0  # node 0 has no cheap partner
+        mu = nu = np.full(3, 1 / 3)
+        plan = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.05, rho=0.1).plan
+        assert plan[0].sum() < 0.5 * plan[1].sum()
+
+    def test_accepts_unnormalised_marginals(self):
+        cost, _, _ = random_problem(4, 4, seed=2)
+        mu = np.array([1.0, 2.0, 1.0, 0.5])
+        nu = np.array([0.5, 0.5, 2.0, 1.0])
+        result = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.1, rho=0.5)
+        assert result.plan.sum() > 0
+
+    def test_parameter_validation(self):
+        cost, mu, nu = random_problem(3, 3)
+        with pytest.raises(ValueError):
+            sinkhorn_unbalanced(cost, mu, nu, epsilon=-1.0)
+        with pytest.raises(ValueError):
+            sinkhorn_unbalanced(cost, mu, nu, rho=0.0)
+        with pytest.raises(ShapeError):
+            sinkhorn_unbalanced(cost, mu[:2], nu)
+
+
+class TestPartialWasserstein:
+    def test_total_mass_controlled(self):
+        cost, mu, nu = random_problem(6, 6, seed=3)
+        for mass in (0.5, 0.8, 1.0):
+            plan = partial_wasserstein(cost, mu, nu, mass=mass)
+            assert plan.sum() == pytest.approx(mass / (2.0 - mass), abs=0.05)
+
+    def test_keeps_cheap_pairs(self):
+        """Partial OT should drop the most expensive correspondences."""
+        n = 5
+        cost = np.full((n, n), 5.0)
+        np.fill_diagonal(cost, 0.0)
+        cost[n - 1, n - 1] = 50.0  # node 4's own match is terrible
+        mu = nu = np.full(n, 1 / n)
+        plan = partial_wasserstein(cost, mu, nu, mass=0.8, epsilon=0.02)
+        shipped = plan.sum(axis=1)
+        assert shipped[n - 1] < 0.5 * shipped[0]
+
+    def test_mass_validation(self):
+        cost, mu, nu = random_problem(3, 3)
+        with pytest.raises(ValueError):
+            partial_wasserstein(cost, mu, nu, mass=0.0)
+        with pytest.raises(ValueError):
+            partial_wasserstein(cost, mu, nu, mass=1.5)
+
+    def test_nonnegative(self):
+        cost, mu, nu = random_problem(5, 7, seed=4)
+        plan = partial_wasserstein(cost, mu, nu, mass=0.6)
+        assert np.all(plan >= 0)

@@ -1,0 +1,110 @@
+"""Tests for multi-view structure bases (repro.core.views, Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_structure_bases, combine_bases, normalize_basis
+from repro.exceptions import GraphError
+from repro.gnn import sgc_propagate
+from repro.graphs import erdos_renyi_graph, row_normalize
+
+
+def featured_graph(seed=0, n=20, d=10):
+    g = erdos_renyi_graph(n, 0.3, seed=seed)
+    rng = np.random.default_rng(seed + 50)
+    return g.with_features(rng.random((n, d)))
+
+
+class TestBuildBases:
+    def test_count_matches_k(self):
+        g = featured_graph()
+        for k in (1, 2, 3, 5):
+            assert len(build_structure_bases(g, k)) == k
+
+    def test_first_basis_is_adjacency(self):
+        g = featured_graph(seed=1)
+        bases = build_structure_bases(g, 3, normalize=False)
+        np.testing.assert_array_equal(bases[0], g.dense_adjacency())
+
+    def test_second_basis_is_cosine_gram(self):
+        g = featured_graph(seed=2)
+        bases = build_structure_bases(g, 2, normalize=False)
+        feats = row_normalize(g.features)
+        np.testing.assert_allclose(bases[1], feats @ feats.T, atol=1e-12)
+
+    def test_subgraph_views_follow_eq6(self):
+        g = featured_graph(seed=3)
+        bases = build_structure_bases(g, 4, normalize=False)
+        feats = row_normalize(g.features)
+        for hop in (1, 2):
+            z = sgc_propagate(g.adjacency, feats, hop)
+            np.testing.assert_allclose(bases[1 + hop], z @ z.T, atol=1e-10)
+
+    def test_all_bases_symmetric(self):
+        g = featured_graph(seed=4)
+        for basis in build_structure_bases(g, 4):
+            np.testing.assert_allclose(basis, basis.T, atol=1e-10)
+
+    def test_view_ablation_edge_only(self):
+        g = featured_graph(seed=5)
+        bases = build_structure_bases(g, 1, include_views=("edge",), normalize=False)
+        np.testing.assert_array_equal(bases[0], g.dense_adjacency())
+
+    def test_view_ablation_without_node(self):
+        g = featured_graph(seed=6)
+        bases = build_structure_bases(
+            g, 3, include_views=("edge", "subgraph"), normalize=False
+        )
+        feats = row_normalize(g.features)
+        z1 = sgc_propagate(g.adjacency, feats, 1)
+        np.testing.assert_allclose(bases[1], z1 @ z1.T, atol=1e-10)
+
+    def test_featureless_graph_requires_edge_only(self):
+        g = erdos_renyi_graph(10, 0.3, seed=7)
+        bases = build_structure_bases(g, 1, include_views=("edge",))
+        assert len(bases) == 1
+        with pytest.raises(GraphError):
+            build_structure_bases(g, 2)
+
+    def test_unknown_view(self):
+        with pytest.raises(GraphError):
+            build_structure_bases(featured_graph(), 2, include_views=("edge", "motif"))
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            build_structure_bases(featured_graph(), 0)
+
+
+class TestNormalizeBasis:
+    def test_frobenius_scale(self):
+        rng = np.random.default_rng(8)
+        basis = rng.random((6, 6))
+        out = normalize_basis(basis)
+        assert np.linalg.norm(out) == pytest.approx(6.0)
+
+    def test_zero_matrix_untouched(self):
+        out = normalize_basis(np.zeros((4, 4)))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(9)
+        basis = rng.random((5, 5))
+        np.testing.assert_allclose(
+            normalize_basis(basis), normalize_basis(10.0 * basis), atol=1e-12
+        )
+
+
+class TestCombineBases:
+    def test_convex_combination(self):
+        a, b = np.eye(3), np.ones((3, 3))
+        out = combine_bases([a, b], np.array([0.25, 0.75]))
+        np.testing.assert_allclose(out, 0.25 * a + 0.75 * b)
+
+    def test_vertex_recovers_basis(self):
+        a, b = np.eye(3), np.ones((3, 3))
+        out = combine_bases([a, b], np.array([1.0, 0.0]))
+        np.testing.assert_array_equal(out, a)
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(GraphError):
+            combine_bases([np.eye(2)], np.array([0.5, 0.5]))
