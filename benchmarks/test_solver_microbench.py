@@ -1,18 +1,29 @@
-"""Micro-benchmarks of the OT substrate.
+"""Micro-benchmarks of the OT substrate and the SLOTAlign solver.
 
 Not a paper artefact per se, but underpins the runtime column of
-Fig. 7 / Table II: times the Sinkhorn projections and one GW proximal
-sweep at a fixed problem size, and checks the fast kernel-domain
-projection agrees with the log-domain reference.
+Fig. 7 / Table II: times the Sinkhorn projections, one GW proximal
+sweep and a full ``SLOTAlign.fit`` at a fixed problem size, checks the
+fast kernel-domain projection agrees with the log-domain reference,
+and emits ``BENCH_solver.json`` (per-phase solver timings) at the repo
+root so the performance trajectory is machine-readable across PRs.
 """
+
+import json
+from pathlib import Path
 
 import numpy as np
 
+from repro.core import SLOTAlign, SLOTAlignConfig
+from repro.datasets import make_semi_synthetic_pair
+from repro.graphs import stochastic_block_model
+from repro.graphs.features import community_bag_of_words
 from repro.ot import (
     proximal_gromov_wasserstein,
     sinkhorn_log,
     sinkhorn_log_kernel_fast,
 )
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_solver.json"
 
 
 def _problem(n=200, seed=0):
@@ -58,3 +69,63 @@ def test_bench_proximal_gw(benchmark):
         rounds=2,
     )
     assert np.all(np.isfinite(result.plan))
+
+
+def _solver_problem(seed=0, n_per_block=27):
+    """Bench-scale semi-synthetic pair (~Fig. 6/7 conditions)."""
+    graph = stochastic_block_model([n_per_block] * 3, 0.3, 0.02, seed=seed)
+    feats = community_bag_of_words(
+        graph.node_labels, 40, words_per_node=8, seed=seed + 1
+    )
+    graph = graph.with_features(feats)
+    graph.node_labels = None
+    return make_semi_synthetic_pair(graph, edge_noise=0.25, seed=seed + 2)
+
+
+def test_bench_slotalign_fit(benchmark):
+    """Full solver at bench scale; emits ``BENCH_solver.json``.
+
+    The JSON records per-phase wall time (basis build, α-update,
+    π-update) and per-restart totals of the portfolio scheduler so
+    future PRs can track the solver's performance trajectory without
+    parsing pytest-benchmark output.
+    """
+    pair = _solver_problem()
+    cfg = SLOTAlignConfig(
+        n_bases=2, structure_lr=0.1, sinkhorn_lr=0.01,
+        max_outer_iter=150, track_history=False,
+    )
+
+    def fit():
+        return SLOTAlign(cfg).fit(pair.source, pair.target)
+
+    result = benchmark.pedantic(fit, iterations=1, rounds=2)
+    assert np.all(np.isfinite(result.plan))
+    assert result.plan.shape == (pair.source.n_nodes, pair.target.n_nodes)
+
+    timings = result.extras["phase_timings"]
+    portfolio = result.extras["portfolio"]
+    payload = {
+        "problem": {
+            "n_source": pair.source.n_nodes,
+            "n_target": pair.target.n_nodes,
+            "n_bases": result.extras["n_bases"],
+            "max_outer_iter": cfg.max_outer_iter,
+        },
+        "fit_seconds": result.runtime,
+        "phases": {
+            "basis_build": timings["basis_build"],
+            "alpha_update": timings["alpha_update"],
+            "pi_update": timings["pi_update"],
+            "objective_eval": timings["objective_eval"],
+        },
+        "per_restart_seconds": timings["per_restart"],
+        "portfolio": {
+            "selected_start": result.extras["selected_start"],
+            "iterations": portfolio["iterations"],
+            "pruned": portfolio["pruned"],
+            "checkpoints": portfolio["checkpoints"],
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert BENCH_JSON.exists()

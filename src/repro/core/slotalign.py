@@ -10,7 +10,7 @@ graphs it
 3. stops when both iterates move less than the tolerances, and
 4. exposes the plan through :class:`repro.core.result.AlignmentResult`.
 
-Two practical devices harden the nonconvex optimisation (both
+Three practical devices harden the nonconvex optimisation (all
 documented in DESIGN.md and ablatable through the config):
 
 * **η annealing** — the KL-proximal coefficient starts large (smooth,
@@ -21,11 +21,21 @@ documented in DESIGN.md and ablatable through the config):
   and from the edge-/node-view vertices of the simplex, keeping the
   iterate with the lowest objective value.  All restart ingredients are
   intra-graph, so Proposition 4's feature-permutation invariance holds
-  for the full procedure.
+  for the full procedure;
+* **restart-portfolio scheduling** — instead of running every restart
+  at the full iteration budget, the portfolio is successively halved:
+  at an early checkpoint (and again after the annealing horizon, where
+  the objective ranking has stabilised) clearly dominated restarts are
+  pruned and only the survivors continue to convergence.  Survivors
+  follow their exact unpruned iterate path — pruning never perturbs a
+  trajectory, it only stops hopeless ones early — and all restarts
+  share one :class:`~repro.core.objective.JointObjective`
+  precomputation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,6 +62,146 @@ class _RunOutcome:
     objective: float
     history: IterateHistory
     label: str
+    pruned: bool = False
+    iterations: int = 0
+
+
+class _RestartRun:
+    """Stepping state of one restart of the alternating scheme.
+
+    The per-iteration body is a faithful transcription of the original
+    single-shot loop: as long as a run is advanced to the full budget,
+    its iterate sequence (and therefore its final plan) is bit-for-bit
+    what the unscheduled solver produced.  ``step_until`` lets the
+    portfolio scheduler advance restarts checkpoint by checkpoint.
+    """
+
+    def __init__(
+        self,
+        objective: JointObjective,
+        config: SLOTAlignConfig,
+        eta_schedule,
+        beta0: np.ndarray,
+        learn_weights: bool,
+        plan0: np.ndarray,
+        mu: np.ndarray,
+        nu: np.ndarray,
+        label: str,
+    ):
+        self.objective = objective
+        self.config = config
+        self.eta_schedule = eta_schedule
+        self.learn_weights = learn_weights
+        self.label = label
+        self.mu = mu
+        self.nu = nu
+        self.k = objective.n_bases
+        self.alpha = np.concatenate([beta0, beta0])
+        self.plan = plan0.copy()
+        self.history = IterateHistory()
+        self.iteration = 0
+        self.pruned = False
+        self.pruned_at: int | None = None
+        self.elapsed = 0.0
+        self.timings = {"alpha_update": 0.0, "pi_update": 0.0, "objective_eval": 0.0}
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return (
+            self.history.converged
+            or self.iteration >= self.config.max_outer_iter
+        )
+
+    @property
+    def active(self) -> bool:
+        return not self.pruned and not self.finished
+
+    def step_until(self, target_iteration: int) -> None:
+        """Advance to ``min(target, max_outer_iter)`` or convergence."""
+        target = min(target_iteration, self.config.max_outer_iter)
+        start = time.perf_counter()
+        while self.iteration < target and not self.history.converged:
+            self._step_once()
+        self.elapsed += time.perf_counter() - start
+
+    def current_objective(self) -> float:
+        """Objective at the current iterate (pure read, cache-friendly)."""
+        t0 = time.perf_counter()
+        value = self.objective.value(self.plan, self.alpha[:self.k], self.alpha[self.k:])
+        self.timings["objective_eval"] += time.perf_counter() - t0
+        return value
+
+    def prune(self) -> None:
+        self.pruned = True
+        self.pruned_at = self.iteration
+
+    def outcome(self) -> _RunOutcome:
+        return _RunOutcome(
+            plan=self.plan,
+            alpha=self.alpha,
+            objective=self.current_objective(),
+            history=self.history,
+            label=self.label,
+            pruned=self.pruned,
+            iterations=self.iteration,
+        )
+
+    # ------------------------------------------------------------------
+    def _step_once(self) -> None:
+        """One outer iteration of Algorithm 1 (Eq. 11 then Eq. 12)."""
+        cfg = self.config
+        objective = self.objective
+        k = self.k
+        alpha, plan = self.alpha, self.plan
+
+        t0 = time.perf_counter()
+        new_alpha = alpha
+        if self.learn_weights:
+            for _ in range(cfg.alpha_steps):
+                grad = objective.alpha_gradient(
+                    plan, new_alpha[:k], new_alpha[k:]
+                )
+                new_alpha = project_concatenated_simplices(
+                    new_alpha - cfg.structure_lr * grad, k
+                )
+        t1 = time.perf_counter()
+        self.timings["alpha_update"] += t1 - t0
+
+        plan_grad = objective.plan_gradient(plan, new_alpha[:k], new_alpha[k:])
+        # KL-proximal step (Eq. 12): minimising
+        # <grad, pi> + eta * KL(pi || pi_k) yields the kernel
+        # pi_k * exp(-grad / eta), projected onto Pi(mu, nu)
+        eta = self.eta_schedule(self.iteration)
+        log_kernel = (
+            np.log(np.maximum(plan, 1e-300)) - plan_grad / eta
+        )
+        sinkhorn_result = sinkhorn_log_kernel_fast(
+            log_kernel,
+            self.mu,
+            self.nu,
+            max_iter=cfg.sinkhorn_iter,
+            tol=cfg.sinkhorn_tol,
+        )
+        new_plan = sinkhorn_result.plan
+        if not np.all(np.isfinite(new_plan)):
+            raise ConvergenceError("SLOTAlign plan became non-finite")
+        t2 = time.perf_counter()
+        self.timings["pi_update"] += t2 - t1
+
+        alpha_delta = float(np.linalg.norm(new_alpha - alpha))
+        plan_delta = float(np.linalg.norm(new_plan - plan))
+        value = (
+            objective.value(new_plan, new_alpha[:k], new_alpha[k:])
+            if cfg.track_history
+            else None
+        )
+        self.timings["objective_eval"] += time.perf_counter() - t2
+        self.history.record(value, alpha_delta, plan_delta)
+        self.alpha, self.plan = new_alpha, new_plan
+        self.iteration += 1
+        if alpha_delta < cfg.alpha_tol and plan_delta < cfg.plan_tol:
+            self.history.converged = True
 
 
 class SLOTAlign:
@@ -84,6 +234,7 @@ class SLOTAlign:
         """Align ``source`` to ``target`` and return the soft plan."""
         cfg = self.config
         with Timer() as timer:
+            t0 = time.perf_counter()
             source_bases = build_structure_bases(
                 source, cfg.n_bases, cfg.include_views, cfg.normalize_bases
             )
@@ -95,7 +246,10 @@ class SLOTAlign:
                 raise GraphError(
                     "source and target produced different numbers of bases"
                 )
-            objective = JointObjective(source_bases, target_bases)
+            objective = JointObjective(
+                source_bases, target_bases, fused=cfg.fused_contractions
+            )
+            basis_seconds = time.perf_counter() - t0
             n, m = objective.n, objective.m
             mu = np.full(n, 1.0 / n)
             nu = np.full(m, 1.0 / m)
@@ -104,8 +258,23 @@ class SLOTAlign:
             )
 
             uniform_beta = np.full(k, 1.0 / k)
+            first_label, first_beta = "uniform", uniform_beta
+            if cfg.single_start_view != "uniform" and not cfg.multi_start:
+                # committed single start: begin at the requested view's
+                # vertex of the simplex instead of the uniform mixture
+                for label, view_index in self._vertex_views(cfg, k):
+                    if label == cfg.single_start_view:
+                        vertex = np.zeros(k)
+                        vertex[view_index] = 1.0
+                        first_label, first_beta = label, vertex
+                        break
+                else:
+                    raise GraphError(
+                        f"single_start_view {cfg.single_start_view!r} has no "
+                        "matching basis for this graph pair"
+                    )
             starts: list[tuple[str, np.ndarray, bool]] = [
-                ("uniform", uniform_beta, cfg.learn_weights)
+                (first_label, first_beta, cfg.learn_weights)
             ]
             if cfg.multi_start and not informative_init and k > 1:
                 # vertex restarts for the two first-order views: a
@@ -119,15 +288,45 @@ class SLOTAlign:
                     if label == "node":
                         starts.append((f"{label}-frozen", vertex, False))
 
-            outcomes = [
-                self._solve(objective, beta0, learn, plan0, mu, nu, label)
+            runs = [
+                _RestartRun(
+                    objective, cfg, self._eta_schedule,
+                    beta0, learn, plan0, mu, nu, label,
+                )
                 for label, beta0, learn in starts
             ]
-            best = min(outcomes, key=lambda run: run.objective)
+            checkpoints = self._prune_schedule() if len(runs) > 1 else []
+            for checkpoint, margin in checkpoints:
+                for run in runs:
+                    if run.active:
+                        run.step_until(checkpoint)
+                contenders = {
+                    run.label: run.current_objective()
+                    for run in runs
+                    if not run.pruned
+                }
+                leader = min(contenders.values())
+                for run in runs:
+                    if run.active and contenders[run.label] > leader + margin:
+                        run.prune()
+            for run in runs:
+                if run.active:
+                    run.step_until(cfg.max_outer_iter)
+
+            outcomes = [run.outcome() for run in runs]
+            survivors = [out for out in outcomes if not out.pruned]
+            best = min(survivors, key=lambda run: run.objective)
 
         self.history = best.history
         self.beta_source = best.alpha[:k].copy()
         self.beta_target = best.alpha[k:].copy()
+        phase_timings = {
+            "basis_build": basis_seconds,
+            "alpha_update": sum(r.timings["alpha_update"] for r in runs),
+            "pi_update": sum(r.timings["pi_update"] for r in runs),
+            "objective_eval": sum(r.timings["objective_eval"] for r in runs),
+            "per_restart": {run.label: run.elapsed for run in runs},
+        }
         return AlignmentResult(
             plan=best.plan,
             runtime=timer.elapsed,
@@ -142,6 +341,18 @@ class SLOTAlign:
                 "start_objectives": {
                     run.label: run.objective for run in outcomes
                 },
+                "portfolio": {
+                    "checkpoints": [list(cp) for cp in checkpoints],
+                    "pruned": {
+                        run.label: run.iterations
+                        for run in outcomes
+                        if run.pruned
+                    },
+                    "iterations": {
+                        run.label: run.iterations for run in outcomes
+                    },
+                },
+                "phase_timings": phase_timings,
             },
         )
 
@@ -168,66 +379,36 @@ class SLOTAlign:
         decay = (cfg.sinkhorn_lr / cfg.eta_start) ** (1.0 / horizon)
         return cfg.eta_start * decay**iteration
 
-    def _solve(
-        self,
-        objective: JointObjective,
-        beta0: np.ndarray,
-        learn_weights: bool,
-        plan0: np.ndarray,
-        mu: np.ndarray,
-        nu: np.ndarray,
-        label: str,
-    ) -> _RunOutcome:
-        """One run of the alternating scheme (Algorithm 1)."""
+    def _prune_schedule(self) -> list[tuple[int, float]]:
+        """Successive-halving checkpoints ``(iteration, margin)``.
+
+        Mid-annealing objective values are unusable for ranking: the
+        exploration phase deliberately keeps iterates smooth, so a
+        restart's value can lag arbitrarily while η is large and the
+        ordering routinely inverts as η decays (a frozen-weight run
+        has been observed trailing by 1.2 at iteration 20 and winning
+        outright at full budget).  With annealing enabled the only
+        checkpoint therefore fires ``portfolio_prune_iter`` iterations
+        after the annealing horizon, with the tight refine margin.
+        Without annealing the ranking is meaningful early, so a
+        generous-margin checkpoint fires at ``portfolio_prune_iter``
+        and a tighter one at three times it.
+        """
         cfg = self.config
-        k = objective.n_bases
-        alpha = np.concatenate([beta0, beta0])
-        plan = plan0.copy()
-        history = IterateHistory()
-        for iteration in range(cfg.max_outer_iter):
-            new_alpha = alpha
-            if learn_weights:
-                for _ in range(cfg.alpha_steps):
-                    grad = objective.alpha_gradient(
-                        plan, new_alpha[:k], new_alpha[k:]
-                    )
-                    new_alpha = project_concatenated_simplices(
-                        new_alpha - cfg.structure_lr * grad, k
-                    )
-            plan_grad = objective.plan_gradient(
-                plan, new_alpha[:k], new_alpha[k:]
-            )
-            # KL-proximal step (Eq. 12): minimising
-            # <grad, pi> + eta * KL(pi || pi_k) yields the kernel
-            # pi_k * exp(-grad / eta), projected onto Pi(mu, nu)
-            eta = self._eta_schedule(iteration)
-            log_kernel = (
-                np.log(np.maximum(plan, 1e-300)) - plan_grad / eta
-            )
-            sinkhorn_result = sinkhorn_log_kernel_fast(
-                log_kernel,
-                mu,
-                nu,
-                max_iter=cfg.sinkhorn_iter,
-                tol=1e-9,
-            )
-            new_plan = sinkhorn_result.plan
-            if not np.all(np.isfinite(new_plan)):
-                raise ConvergenceError("SLOTAlign plan became non-finite")
-            alpha_delta = float(np.linalg.norm(new_alpha - alpha))
-            plan_delta = float(np.linalg.norm(new_plan - plan))
-            value = (
-                objective.value(new_plan, new_alpha[:k], new_alpha[k:])
-                if cfg.track_history
-                else None
-            )
-            history.record(value, alpha_delta, plan_delta)
-            alpha, plan = new_alpha, new_plan
-            if alpha_delta < cfg.alpha_tol and plan_delta < cfg.plan_tol:
-                history.converged = True
-                break
-        final_value = objective.value(plan, alpha[:k], alpha[k:])
-        return _RunOutcome(plan, alpha, final_value, history, label)
+        first = cfg.portfolio_prune_iter
+        if first <= 0 or first >= cfg.max_outer_iter:
+            return []
+        if cfg.anneal and cfg.eta_start > cfg.sinkhorn_lr:
+            horizon = max(1, int(cfg.anneal_fraction * cfg.max_outer_iter))
+            checkpoint = horizon + first
+            if checkpoint < cfg.max_outer_iter:
+                return [(checkpoint, cfg.portfolio_refine_margin)]
+            return []
+        schedule = [(first, cfg.portfolio_prune_margin)]
+        second = 3 * first
+        if first < second < cfg.max_outer_iter:
+            schedule.append((second, cfg.portfolio_refine_margin))
+        return schedule
 
     # ------------------------------------------------------------------
     def _initial_plan(
@@ -242,7 +423,10 @@ class SLOTAlign:
 
         Uniform coupling by default; a user-supplied plan or (for the
         KG setting) the feature-similarity initialisation of Sec. V-C
-        skips the multi-start portfolio.
+        skips the multi-start portfolio.  When the feature spaces are
+        incomparable (different dimensionalities) the similarity init
+        degenerates to the uniform coupling, so the flag stays False
+        and the multi-start portfolio remains enabled.
         """
         n, m = mu.shape[0], nu.shape[0]
         if init_plan is not None:
@@ -259,6 +443,8 @@ class SLOTAlign:
                 raise GraphError(
                     "feature-similarity init requires features on both graphs"
                 )
+            if source.features.shape[1] != target.features.shape[1]:
+                return np.outer(mu, nu), False
             return (
                 feature_similarity_plan(source.features, target.features, mu, nu),
                 True,

@@ -97,6 +97,25 @@ def normalize_basis(basis: np.ndarray, eps: float = 1e-12) -> np.ndarray:
     return arr * (arr.shape[0] / norm)
 
 
+def stack_bases(bases: list[np.ndarray]) -> np.ndarray:
+    """Stack K same-shape bases into one C-contiguous ``(K, n, n)`` tensor.
+
+    Each slice of the stack is a bit-for-bit copy of the corresponding
+    basis, so contractions over slices reproduce per-basis results
+    exactly (the batched-solver bitwise-equality requirement).
+    """
+    if not bases:
+        raise GraphError("cannot stack an empty basis list")
+    arrays = [np.asarray(basis, dtype=np.float64) for basis in bases]
+    shape = arrays[0].shape
+    for basis in arrays:
+        if basis.shape != shape:
+            raise GraphError(
+                f"bases must share a shape to stack, got {shape} vs {basis.shape}"
+            )
+    return np.stack(arrays)
+
+
 def combine_bases(bases: list[np.ndarray], weights: np.ndarray) -> np.ndarray:
     """Convex combination ``D = Σ_q β(q) D(q)`` (Eq. 7)."""
     weights = np.asarray(weights, dtype=np.float64)

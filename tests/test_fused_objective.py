@@ -1,0 +1,200 @@
+"""Bitwise-equality regression tests for the fused contraction engine.
+
+The refactored :class:`repro.core.objective.JointObjective` stacks the
+bases, caches the combined matrices and memoises transport products.
+None of that may change a single bit of the evaluated quantities: with
+``fused=False`` every output must equal the pre-refactor serial
+formulas exactly, on any BLAS.  The symmetric fused path
+(``∂F/∂π = −4 D_s π D_t``) is allowed to differ from the general
+formula by accumulated ulps only, and must itself be deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import JointObjective, build_structure_bases
+from repro.core.views import combine_bases, stack_bases
+from repro.exceptions import GraphError
+from repro.graphs import erdos_renyi_graph
+
+
+# ----------------------------------------------------------------------
+# Pre-refactor serial formulas (transcribed verbatim from the original
+# objective module; these are the bitwise anchors).
+def reference_value(obj, plan, beta_s, beta_t):
+    d_s = combine_bases(obj.source_bases, beta_s)
+    d_t = combine_bases(obj.target_bases, beta_t)
+    term_s = float(beta_s @ obj.gram_source @ beta_s) / obj.n**2
+    term_t = float(beta_t @ obj.gram_target @ beta_t) / obj.m**2
+    cross = -2.0 * float(np.sum((d_s @ plan @ d_t.T) * plan))
+    return term_s + term_t + cross
+
+
+def reference_plan_gradient(obj, plan, beta_s, beta_t):
+    d_s = combine_bases(obj.source_bases, beta_s)
+    d_t = combine_bases(obj.target_bases, beta_t)
+    return -2.0 * (d_s @ plan @ d_t.T + d_s.T @ plan @ d_t)
+
+
+def reference_alpha_gradient(obj, plan, beta_s, beta_t):
+    d_s = combine_bases(obj.source_bases, beta_s)
+    d_t = combine_bases(obj.target_bases, beta_t)
+    transported_t = plan @ d_t @ plan.T
+    transported_s = plan.T @ d_s @ plan
+    grad_s = np.empty(obj.n_bases)
+    grad_t = np.empty(obj.n_bases)
+    for q in range(obj.n_bases):
+        grad_s[q] = (
+            2.0 / obj.n**2 * float(obj.gram_source[q] @ beta_s)
+            - 2.0 * float(np.sum(obj.source_bases[q] * transported_t))
+        )
+        grad_t[q] = (
+            2.0 / obj.m**2 * float(obj.gram_target[q] @ beta_t)
+            - 2.0 * float(np.sum(obj.target_bases[q] * transported_s))
+        )
+    return np.concatenate([grad_s, grad_t])
+
+
+def make_case(seed=0, n=23, m=19, k=3):
+    rng = np.random.default_rng(seed)
+    gs = erdos_renyi_graph(n, 0.3, seed=seed).with_features(rng.random((n, 6)))
+    gt = erdos_renyi_graph(m, 0.3, seed=seed + 50).with_features(rng.random((m, 6)))
+    source = build_structure_bases(gs, k)
+    target = build_structure_bases(gt, k)
+    beta_s = rng.dirichlet(np.ones(len(source)))
+    beta_t = rng.dirichlet(np.ones(len(target)))
+    plan = rng.random((n, m))
+    plan /= plan.sum()
+    return source, target, beta_s, beta_t, plan
+
+
+class TestGeneralPathBitwise:
+    """``fused=False`` reproduces the pre-refactor formulas exactly."""
+
+    @pytest.mark.parametrize("seed,k", [(0, 1), (1, 2), (2, 3), (3, 4)])
+    def test_all_quantities_bitwise(self, seed, k):
+        source, target, beta_s, beta_t, plan = make_case(seed=seed, k=k)
+        obj = JointObjective(source, target, fused=False)
+        assert obj.value(plan, beta_s, beta_t) == reference_value(
+            obj, plan, beta_s, beta_t
+        )
+        np.testing.assert_array_equal(
+            obj.plan_gradient(plan, beta_s, beta_t),
+            reference_plan_gradient(obj, plan, beta_s, beta_t),
+        )
+        np.testing.assert_array_equal(
+            obj.alpha_gradient(plan, beta_s, beta_t),
+            reference_alpha_gradient(obj, plan, beta_s, beta_t),
+        )
+
+    def test_caches_are_transparent(self):
+        """Interleaved evaluation at several iterates (cache hits and
+        evictions) never changes a bit of any output."""
+        source, target, beta_s, beta_t, plan = make_case(seed=4, k=2)
+        rng = np.random.default_rng(5)
+        obj = JointObjective(source, target, fused=False)
+        iterates = []
+        for _ in range(4):
+            bs = rng.dirichlet(np.ones(obj.n_bases))
+            bt = rng.dirichlet(np.ones(obj.n_bases))
+            p = rng.random(plan.shape)
+            p /= p.sum()
+            iterates.append((p, bs, bt))
+        # repeated and interleaved passes over the same iterates
+        for _ in range(3):
+            for p, bs, bt in iterates:
+                assert obj.value(p, bs, bt) == reference_value(obj, p, bs, bt)
+                np.testing.assert_array_equal(
+                    obj.plan_gradient(p, bs, bt),
+                    reference_plan_gradient(obj, p, bs, bt),
+                )
+                np.testing.assert_array_equal(
+                    obj.alpha_gradient(p, bs, bt),
+                    reference_alpha_gradient(obj, p, bs, bt),
+                )
+
+    def test_combined_cache_returns_combine_bases_bits(self):
+        source, target, beta_s, beta_t, _ = make_case(seed=6, k=3)
+        obj = JointObjective(source, target)
+        d_s, d_t = obj.combined(beta_s, beta_t)
+        np.testing.assert_array_equal(d_s, combine_bases(source, beta_s))
+        np.testing.assert_array_equal(d_t, combine_bases(target, beta_t))
+        # second call is the cached object, not a recomputation
+        assert obj.combined(beta_s, beta_t)[0] is d_s
+
+
+class TestStacking:
+    def test_stack_slices_bitwise(self):
+        source, _, _, _, _ = make_case(seed=7, k=3)
+        stack = stack_bases(source)
+        assert stack.flags["C_CONTIGUOUS"]
+        for q, basis in enumerate(source):
+            np.testing.assert_array_equal(stack[q], basis)
+
+    def test_stack_rejects_mismatched_shapes(self):
+        with pytest.raises(GraphError):
+            stack_bases([np.eye(3), np.eye(4)])
+
+    def test_stack_rejects_empty(self):
+        with pytest.raises(GraphError):
+            stack_bases([])
+
+    def test_stacked_contraction_matches_loop(self):
+        """The batched (K, n, n) contraction used by alpha_gradient is
+        bitwise-equal to the per-basis np.sum loop it replaced."""
+        source, _, _, _, _ = make_case(seed=8, k=4)
+        rng = np.random.default_rng(9)
+        stack = stack_bases(source)
+        transported = rng.standard_normal(source[0].shape)
+        batched = (stack * transported).sum(axis=(1, 2))
+        serial = np.array([float(np.sum(b * transported)) for b in source])
+        np.testing.assert_array_equal(batched, serial)
+
+
+class TestFusedSymmetricPath:
+    def test_detects_symmetry(self):
+        source, target, _, _, _ = make_case(seed=10, k=2)
+        assert JointObjective(source, target).symmetric
+        assert JointObjective(source, target, fused=True).fused
+
+    def test_asymmetric_falls_back_to_general(self):
+        rng = np.random.default_rng(11)
+        a, b = rng.random((6, 6)), rng.random((7, 7))
+        obj = JointObjective([a], [b], fused=True)
+        assert not obj.fused
+        plan = rng.random((6, 7))
+        plan /= plan.sum()
+        ones = np.ones(1)
+        np.testing.assert_array_equal(
+            obj.plan_gradient(plan, ones, ones),
+            reference_plan_gradient(obj, plan, ones, ones),
+        )
+
+    def test_fused_matches_general_to_ulp(self):
+        source, target, beta_s, beta_t, plan = make_case(seed=12, k=3)
+        fused = JointObjective(source, target, fused=True)
+        general = JointObjective(source, target, fused=False)
+        assert fused.fused
+        np.testing.assert_allclose(
+            fused.plan_gradient(plan, beta_s, beta_t),
+            general.plan_gradient(plan, beta_s, beta_t),
+            rtol=1e-12,
+            atol=1e-13,
+        )
+        assert fused.value(plan, beta_s, beta_t) == pytest.approx(
+            general.value(plan, beta_s, beta_t), rel=1e-12
+        )
+        # the alpha path is shared: bitwise either way
+        np.testing.assert_array_equal(
+            fused.alpha_gradient(plan, beta_s, beta_t),
+            general.alpha_gradient(plan, beta_s, beta_t),
+        )
+
+    def test_fused_is_deterministic(self):
+        source, target, beta_s, beta_t, plan = make_case(seed=13, k=2)
+        a = JointObjective(source, target, fused=True)
+        b = JointObjective(source, target, fused=True)
+        np.testing.assert_array_equal(
+            a.plan_gradient(plan, beta_s, beta_t),
+            b.plan_gradient(plan, beta_s, beta_t),
+        )

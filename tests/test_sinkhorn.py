@@ -10,9 +10,11 @@ from repro.ot import (
     emd,
     sinkhorn,
     sinkhorn_log,
+    sinkhorn_log_kernel_fast,
     sinkhorn_projection,
     transport_cost,
 )
+from repro.ot.sinkhorn import _SUBNORMAL_FLUSH, SinkhornResult
 
 
 def random_problem(n, m, seed=0):
@@ -118,6 +120,78 @@ class TestSinkhornProjection:
         mu = nu = np.array([0.5, 0.5])
         with pytest.raises(ValueError):
             sinkhorn_projection(np.array([[1.0, -1.0], [1.0, 1.0]]), mu, nu)
+
+
+def _reference_kernel_fast(log_kernel, mu, nu, max_iter=50, tol=0.0):
+    """Straightforward serial loop: the bitwise anchor for the
+    buffer-reusing implementation.
+
+    Pins only the loop restructuring (reused matvec buffers, recycled
+    convergence-check products) — the subnormal flush is a documented
+    semantic change shared with this reference, not covered by the
+    pin (see DESIGN.md, "Bitwise policy")."""
+    log_k = np.asarray(log_kernel, dtype=np.float64)
+    row_max = log_k.max(axis=1, keepdims=True)
+    kernel = np.exp(log_k - row_max)
+    kernel[kernel < _SUBNORMAL_FLUSH] = 0.0  # shared flush semantics
+    tiny = 1e-300
+    u = np.ones_like(mu)
+    v = np.ones_like(nu)
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        u = mu / np.maximum(kernel @ v, tiny)
+        v = nu / np.maximum(kernel.T @ u, tiny)
+        if tol > 0 and iteration % 10 == 0:
+            err = float(np.abs(u * (kernel @ v) - mu).sum())
+            if err < tol:
+                converged = True
+                break
+    u = mu / np.maximum(kernel @ v, tiny)
+    plan = u[:, None] * kernel * v[None, :]
+    plan[plan < _SUBNORMAL_FLUSH] = 0.0
+    err = float(np.abs(plan.sum(axis=1) - mu).sum())
+    return SinkhornResult(plan, iteration, err, converged or (tol > 0 and err < tol))
+
+
+class TestKernelFastBitwise:
+    """The optimised scaling loop (reused matvec buffers, recycled
+    convergence-check products) must match the serial reference bit for
+    bit — iteration counts, marginal errors and every plan entry."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 120))
+        m = int(rng.integers(5, 120))
+        sharpness = rng.uniform(0.5, 40.0)
+        log_kernel = rng.standard_normal((n, m)) * sharpness
+        mu = np.full(n, 1.0 / n)
+        nu = np.full(m, 1.0 / m)
+        for tol in (0.0, 1e-9, 1e-4):
+            for max_iter in (7, 30, 100):
+                fast = sinkhorn_log_kernel_fast(
+                    log_kernel, mu, nu, max_iter=max_iter, tol=tol
+                )
+                ref = _reference_kernel_fast(
+                    log_kernel, mu, nu, max_iter=max_iter, tol=tol
+                )
+                np.testing.assert_array_equal(fast.plan, ref.plan)
+                assert fast.n_iterations == ref.n_iterations
+                assert fast.marginal_error == ref.marginal_error
+                assert fast.converged == ref.converged
+
+    def test_subnormal_kernel_entries_flushed(self):
+        """Entries hundreds of nats below their row maximum become
+        exact zeros instead of subnormals (the denormal-arithmetic
+        hot-path fix), without disturbing the marginals."""
+        rng = np.random.default_rng(99)
+        log_kernel = rng.standard_normal((40, 40)) * 250.0
+        mu = np.full(40, 1.0 / 40)
+        result = sinkhorn_log_kernel_fast(log_kernel, mu, mu, max_iter=100, tol=1e-9)
+        tiny_entries = (result.plan > 0) & (result.plan < _SUBNORMAL_FLUSH)
+        assert not tiny_entries.any()
+        np.testing.assert_allclose(result.plan.sum(axis=1), mu, atol=1e-12)
 
 
 class TestTransportCost:

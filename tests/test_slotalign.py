@@ -50,6 +50,10 @@ class TestConfig:
             dict(include_views=("edge", "magic")),
             dict(eta_start=0.001, sinkhorn_lr=0.01),
             dict(anneal_fraction=0.0),
+            dict(sinkhorn_tol=-1e-9),
+            dict(portfolio_prune_iter=-1),
+            dict(portfolio_prune_margin=-0.1),
+            dict(portfolio_refine_margin=-0.1),
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
@@ -179,13 +183,89 @@ class TestMechanics:
         )
         objectives = result.extras["start_objectives"]
         assert set(objectives) == {"uniform", "edge", "node", "node-frozen"}
-        assert result.extras["objective"] == pytest.approx(min(objectives.values()))
+        pruned = set(result.extras["portfolio"]["pruned"])
+        survivors = {
+            label: value
+            for label, value in objectives.items()
+            if label not in pruned
+        }
+        assert survivors, "pruning must never remove every restart"
+        assert result.extras["selected_start"] in survivors
+        assert result.extras["objective"] == pytest.approx(min(survivors.values()))
+
+    def test_portfolio_pruning_preserves_winner(self):
+        """Successive halving must return the same plan as the full
+        portfolio whenever the eventual winner survives pruning."""
+        pair = sbm_pair(seed=24, edge_noise=0.1)
+        full_cfg = SLOTAlignConfig(n_bases=2, portfolio_prune_iter=0, **FAST)
+        pruned_cfg = SLOTAlignConfig(n_bases=2, **FAST)
+        full = SLOTAlign(full_cfg).fit(pair.source, pair.target)
+        halved = SLOTAlign(pruned_cfg).fit(pair.source, pair.target)
+        assert halved.extras["selected_start"] == full.extras["selected_start"]
+        # the survivor followed its exact unpruned iterate path
+        np.testing.assert_array_equal(halved.plan, full.plan)
+
+    def test_portfolio_iterations_reported(self):
+        pair = sbm_pair(seed=25)
+        result = SLOTAlign(SLOTAlignConfig(n_bases=2, **FAST)).fit(
+            pair.source, pair.target
+        )
+        portfolio = result.extras["portfolio"]
+        iterations = portfolio["iterations"]
+        assert set(iterations) == set(result.extras["start_objectives"])
+        for label, stopped_at in portfolio["pruned"].items():
+            assert stopped_at == iterations[label]
+            assert stopped_at < FAST["max_outer_iter"]
+
+    def test_phase_timings_recorded(self):
+        pair = sbm_pair(seed=26)
+        result = SLOTAlign(SLOTAlignConfig(n_bases=2, **FAST)).fit(
+            pair.source, pair.target
+        )
+        timings = result.extras["phase_timings"]
+        for key in ("basis_build", "alpha_update", "pi_update", "per_restart"):
+            assert key in timings
+        assert timings["pi_update"] > 0
+        assert all(v >= 0 for v in timings["per_restart"].values())
 
     def test_single_start_when_disabled(self):
         pair = sbm_pair(seed=15)
         cfg = SLOTAlignConfig(n_bases=2, multi_start=False, **FAST)
         result = SLOTAlign(cfg).fit(pair.source, pair.target)
         assert list(result.extras["start_objectives"]) == ["uniform"]
+
+    def test_single_start_view_vertex(self):
+        """A committed single start begins at the requested view's
+        simplex vertex and matches the portfolio's run of that label."""
+        pair = sbm_pair(seed=31)
+        node_cfg = SLOTAlignConfig(
+            n_bases=2, multi_start=False, single_start_view="node", **FAST
+        )
+        result = SLOTAlign(node_cfg).fit(pair.source, pair.target)
+        assert list(result.extras["start_objectives"]) == ["node"]
+        full_cfg = SLOTAlignConfig(
+            n_bases=2, portfolio_prune_iter=0, **FAST
+        )
+        full = SLOTAlign(full_cfg).fit(pair.source, pair.target)
+        assert result.extras["objective"] == pytest.approx(
+            full.extras["start_objectives"]["node"]
+        )
+
+    def test_single_start_view_requires_included_view(self):
+        with pytest.raises(ConfigError):
+            SLOTAlignConfig(
+                include_views=("edge",), single_start_view="node"
+            )
+        with pytest.raises(ConfigError):
+            SLOTAlignConfig(single_start_view="subgraph")
+        # the node view only materialises when n_bases leaves room for
+        # it after the edge view
+        with pytest.raises(ConfigError):
+            SLOTAlignConfig(n_bases=1, single_start_view="node")
+        SLOTAlignConfig(
+            n_bases=1, include_views=("node", "subgraph"),
+            single_start_view="node", multi_start=False,
+        )
 
     def test_fixed_weights_stay_uniform(self):
         pair = sbm_pair(seed=16)
@@ -217,6 +297,31 @@ class TestMechanics:
             SLOTAlign(SLOTAlignConfig(n_bases=2, **FAST)).fit(
                 pair.source, pair.target, init_plan=bad
             )
+
+    def test_feature_similarity_init_dim_mismatch_keeps_multi_start(self):
+        """When feature spaces are incomparable the similarity init
+        degenerates to the uniform coupling; the informative flag must
+        stay False so the restart portfolio is not silently disabled."""
+        rng = np.random.default_rng(27)
+        gs = erdos_renyi_graph(16, 0.3, seed=27).with_features(rng.random((16, 5)))
+        gt = erdos_renyi_graph(16, 0.3, seed=28).with_features(rng.random((16, 9)))
+        cfg = SLOTAlignConfig(
+            n_bases=2, use_feature_similarity_init=True, **FAST
+        )
+        result = SLOTAlign(cfg).fit(gs, gt)
+        assert set(result.extras["start_objectives"]) == {
+            "uniform", "edge", "node", "node-frozen",
+        }
+
+    def test_feature_similarity_init_matching_dims_single_start(self):
+        rng = np.random.default_rng(29)
+        gs = erdos_renyi_graph(16, 0.3, seed=29).with_features(rng.random((16, 5)))
+        gt = erdos_renyi_graph(16, 0.3, seed=30).with_features(rng.random((16, 5)))
+        cfg = SLOTAlignConfig(
+            n_bases=2, use_feature_similarity_init=True, **FAST
+        )
+        result = SLOTAlign(cfg).fit(gs, gt)
+        assert list(result.extras["start_objectives"]) == ["uniform"]
 
     def test_feature_similarity_init_requires_features(self):
         gs = erdos_renyi_graph(10, 0.3, seed=20)
