@@ -1,19 +1,26 @@
-"""Scenario: scaling SLOTAlign with divide-and-conquer partitioning.
+"""Scenario: scaling SLOTAlign with the divide-and-conquer subsystem.
 
 The paper (Sec. IV-D) notes that dense GW is quadratic in the node
 counts and points to LIME-style graph partitioning as the route to very
-large graphs.  This example aligns a community-structured pair both
-directly and through the partitioned pipeline and compares quality vs
-wall-clock.
+large graphs.  This example aligns a community-structured pair three
+ways — whole-graph, partitioned without repair, and the full pipeline
+(k-way partition → pooled block solves → anchor-based boundary repair)
+— and compares quality vs wall-clock.
+
+Everything downstream of the partitioned aligner stays sparse: the
+metrics consume the CSR plan directly and the discrete matching comes
+from the sparse top-k accessor, so the same code path scales to plans
+that must never be densified.
 
 Run:  python examples/large_graph_partition.py
 """
 
-from repro.core import DivideAndConquerAligner, SLOTAlign, SLOTAlignConfig
+from repro.core import SLOTAlign, SLOTAlignConfig
 from repro.datasets import make_semi_synthetic_pair
-from repro.eval import hits_at_k
+from repro.eval import evaluate_plan, hits_at_k
 from repro.graphs import stochastic_block_model
 from repro.graphs.features import community_bag_of_words
+from repro.scale import DivideAndConquerAligner
 
 
 def main() -> None:
@@ -30,20 +37,48 @@ def main() -> None:
 
     direct = SLOTAlign(config).fit(pair.source, pair.target)
     direct_hit = hits_at_k(direct.plan, pair.ground_truth, 1)
-    print(f"\ndirect SLOTAlign:        hit@1={direct_hit:5.1f}  time={direct.runtime:.1f}s")
+    print(f"\ndirect SLOTAlign:          hit@1={direct_hit:5.1f}  time={direct.runtime:.1f}s")
 
-    partitioned = DivideAndConquerAligner(config, max_block_size=100).fit(
-        pair.source, pair.target
-    )
-    part_hit = hits_at_k(partitioned.dense_plan(), pair.ground_truth, 1)
+    def partitioned(repair: bool):
+        return DivideAndConquerAligner(
+            config, n_parts=6, executor="auto", boundary_repair=repair
+        ).fit(pair.source, pair.target)
+
+    plain = partitioned(repair=False)
+    # sparse end to end: hits_at_k consumes the CSR plan directly
+    plain_hit = hits_at_k(plain.plan, pair.ground_truth, 1)
     print(
-        f"partitioned ({partitioned.extras['n_parts']} parts):   "
-        f"hit@1={part_hit:5.1f}  time={partitioned.runtime:.1f}s"
+        f"partitioned, no repair:    hit@1={plain_hit:5.1f}  "
+        f"time={plain.runtime:.1f}s  ({plain.n_parts} parts, "
+        f"{plain.extras['source_cut_fraction']:.0%} of edges cut)"
+    )
+
+    repaired = partitioned(repair=True)
+    repaired_hit = hits_at_k(repaired.plan, pair.ground_truth, 1)
+    stats = repaired.extras["repair"]
+    print(
+        f"partitioned + repair:      hit@1={repaired_hit:5.1f}  "
+        f"time={repaired.runtime:.1f}s  ({stats['n_anchors']} anchors, "
+        f"{stats['n_patched']} boundary patches)"
+    )
+
+    # the discrete matching and the full report also never densify
+    matching = repaired.matching()
+    correct = (matching[pair.ground_truth[:, 0]] == pair.ground_truth[:, 1]).mean()
+    print(f"\nsparse argmax matching accuracy: {correct:.1%}")
+    report = evaluate_plan(repaired.plan, pair.ground_truth, ks=(1, 5, 10))
+    # hits@k are percentages; MRR lives in [0, 1] and needs more digits
+    print(
+        "sparse evaluation:",
+        {
+            k: round(v, 3 if k == "mrr" else 1)
+            for k, v in report.items()
+        },
     )
     print(
-        "\nExpected shape: partitioning trades a few Hit@1 points (cross-"
-        "part links are lost) for a large wall-clock reduction, exactly "
-        "the LIME trade-off the paper cites."
+        "\nExpected shape: partitioning trades a few Hit@1 points for a "
+        "large wall-clock reduction; boundary repair claws back part of "
+        "the cross-part losses LIME simply writes off."
     )
 
 

@@ -33,16 +33,27 @@ from repro.datasets import (
 )
 from repro.eval import evaluate_plan
 from repro.graphs import structural_summary
+from repro.scale import DivideAndConquerAligner
+
+
+def _slot_config(args) -> SLOTAlignConfig:
+    return SLOTAlignConfig(
+        n_bases=args.n_bases,
+        structure_lr=args.tau,
+        sinkhorn_lr=args.eta,
+        max_outer_iter=args.iters,
+        track_history=False,
+    )
+
 
 ALIGNER_FACTORIES = {
-    "slotalign": lambda args: SLOTAlign(
-        SLOTAlignConfig(
-            n_bases=args.n_bases,
-            structure_lr=args.tau,
-            sinkhorn_lr=args.eta,
-            max_outer_iter=args.iters,
-            track_history=False,
-        )
+    "slotalign": lambda args: SLOTAlign(_slot_config(args)),
+    "partitioned": lambda args: DivideAndConquerAligner(
+        _slot_config(args),
+        max_block_size=args.max_block_size,
+        n_parts=args.n_parts,
+        executor=args.executor,
+        boundary_repair=not args.no_boundary_repair,
     ),
     "knn": lambda args: KNNAligner(),
     "gwd": lambda args: GWDAligner(max_iter=args.iters),
@@ -82,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--tau", type=float, default=0.1)
     align.add_argument("--eta", type=float, default=0.01)
     align.add_argument("--iters", type=int, default=150)
+    # partitioned-pipeline knobs (method "partitioned")
+    align.add_argument(
+        "--n-parts", type=int, default=None,
+        help="direct k-way partition count (default: size-driven bisection)",
+    )
+    align.add_argument("--max-block-size", type=int, default=400)
+    align.add_argument(
+        "--executor", choices=("serial", "thread", "process", "auto"),
+        default="auto",
+        help="block execution backend (results are bitwise-identical)",
+    )
+    align.add_argument(
+        "--no-boundary-repair", action="store_true",
+        help="disable the anchor-based boundary-repair pass",
+    )
     return parser
 
 
@@ -112,6 +138,11 @@ def main(argv=None) -> int:
         result = aligner.fit(pair.source, pair.target)
         print(f"method   {args.method}")
         print(f"runtime  {result.runtime:.2f}s")
+        if args.method == "partitioned":
+            repair = result.extras.get("repair", {})
+            print(f"parts    {result.extras['n_parts']}")
+            print(f"executor {result.extras['executor']}")
+            print(f"patched  {repair.get('n_patched', 0)}")
         for key, value in evaluate_plan(
             result.plan, pair.ground_truth, ks=(1, 5, 10)
         ).items():

@@ -1,259 +1,39 @@
-"""Divide-and-conquer alignment for large graph pairs (paper Sec. IV-D).
+"""Backward-compatible shim over the :mod:`repro.scale` subsystem.
 
-The paper notes SLOTAlign is quadratic in the node counts and points to
-LIME's bi-directional graph-partition strategy (METIS-based) and
-LargeEA's mini-batching as the route to million-node graphs, leaving it
-as future work.  This module implements that route:
-
-1. partition *both* graphs jointly: spectral bi-partitioning is applied
-   recursively to the **source** graph; target nodes are assigned to
-   the source parts through a cheap anchor alignment (degree + feature
-   signatures), mimicking LIME's bi-directional partition matching;
-2. run SLOTAlign independently on each subgraph pair;
-3. stitch the block plans into one global (sparse, block-diagonal up to
-   the partition) correspondence matrix.
-
-The price is the cross-part links lost at partition boundaries — the
-same trade-off LIME reports (≈80 % of links preserved at 75 parts).
+The divide-and-conquer aligner started life here as a serial sketch;
+it has since grown into a real subsystem (k-way partitioning, parallel
+block execution, anchor-based boundary repair, sparse evaluation) and
+lives in :mod:`repro.scale`.  This module keeps the historical import
+path ``repro.core.scalability`` working — including the private names
+the original tests reached for.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.scale.aligner import (
+    DENSE_GUARD_ENTRIES,
+    DivideAndConquerAligner,
+    PartitionedAlignment,
+)
+from repro.scale.partition import (
+    _DENSE_BISECT_CUTOFF,
+    assign_target,
+    bisect_partition,
+    fiedler_vector as _fiedler_vector,
+    kway_partition,
+    rebalance as _rebalance,
+    spectral_bisect as _spectral_bisect,
+)
 
-import numpy as np
-import scipy.sparse as sp
-import scipy.sparse.linalg  # noqa: F401  (enables the sp.linalg namespace)
-
-from repro.core.result import AlignmentResult
-from repro.core.slotalign import SLOTAlign
-from repro.core.config import SLOTAlignConfig
-from repro.exceptions import GraphError
-from repro.graphs.graph import AttributedGraph
-from repro.graphs.normalization import row_normalize, symmetric_normalize
-from repro.utils.timer import Timer
-
-
-@dataclass
-class PartitionedAlignment:
-    """Output of :class:`DivideAndConquerAligner`.
-
-    Attributes
-    ----------
-    plan:
-        Sparse global correspondence matrix (CSR), nonzero only within
-        matched partition pairs.
-    partitions:
-        List of ``(source_indices, target_indices)`` per part.
-    block_results:
-        The per-part :class:`AlignmentResult` objects.
-    """
-
-    plan: sp.csr_array
-    partitions: list[tuple[np.ndarray, np.ndarray]]
-    block_results: list[AlignmentResult]
-    runtime: float = 0.0
-    extras: dict = field(default_factory=dict)
-
-    def dense_plan(self) -> np.ndarray:
-        """Materialise the global plan (small problems only)."""
-        return self.plan.toarray()
-
-
-class DivideAndConquerAligner:
-    """Partition-then-align wrapper around SLOTAlign.
-
-    Parameters
-    ----------
-    config:
-        SLOTAlign configuration used per block.
-    max_block_size:
-        Recursive bisection stops once a source part is at most this
-        large.
-    min_block_size:
-        Parts smaller than this are merged into their sibling to avoid
-        degenerate GW problems.
-    """
-
-    def __init__(
-        self,
-        config: SLOTAlignConfig | None = None,
-        max_block_size: int = 400,
-        min_block_size: int = 8,
-    ):
-        if max_block_size < 2 * min_block_size:
-            raise GraphError("max_block_size must be at least 2x min_block_size")
-        self.config = config or SLOTAlignConfig()
-        self.max_block_size = max_block_size
-        self.min_block_size = min_block_size
-
-    # ------------------------------------------------------------------
-    def fit(
-        self, source: AttributedGraph, target: AttributedGraph
-    ) -> PartitionedAlignment:
-        """Partition both graphs, align per part, stitch the plans."""
-        with Timer() as timer:
-            source_parts = self._partition_source(source)
-            target_parts = self._assign_target(source, target, source_parts)
-            block_results: list[AlignmentResult] = []
-            partitions: list[tuple[np.ndarray, np.ndarray]] = []
-            rows: list[np.ndarray] = []
-            cols: list[np.ndarray] = []
-            vals: list[np.ndarray] = []
-            for src_idx, tgt_idx in zip(source_parts, target_parts):
-                if src_idx.size == 0 or tgt_idx.size == 0:
-                    continue
-                sub_s = source.subgraph(src_idx)
-                sub_t = target.subgraph(tgt_idx)
-                result = SLOTAlign(self.config).fit(sub_s, sub_t)
-                block_results.append(result)
-                partitions.append((src_idx, tgt_idx))
-                block = result.plan
-                r, c = np.meshgrid(src_idx, tgt_idx, indexing="ij")
-                rows.append(r.ravel())
-                cols.append(c.ravel())
-                vals.append(block.ravel())
-            if not partitions:
-                raise GraphError("partitioning produced no alignable blocks")
-            plan = sp.csr_array(
-                sp.coo_array(
-                    (
-                        np.concatenate(vals),
-                        (np.concatenate(rows), np.concatenate(cols)),
-                    ),
-                    shape=(source.n_nodes, target.n_nodes),
-                )
-            )
-        return PartitionedAlignment(
-            plan=plan,
-            partitions=partitions,
-            block_results=block_results,
-            runtime=timer.elapsed,
-            extras={"n_parts": len(partitions)},
-        )
-
-    # ------------------------------------------------------------------
-    def _partition_source(self, graph: AttributedGraph) -> list[np.ndarray]:
-        """Recursive spectral bisection of the source graph."""
-        parts: list[np.ndarray] = []
-        stack = [np.arange(graph.n_nodes)]
-        while stack:
-            idx = stack.pop()
-            if idx.size <= self.max_block_size:
-                parts.append(idx)
-                continue
-            left, right = _spectral_bisect(graph.subgraph(idx))
-            if (
-                left.size < self.min_block_size
-                or right.size < self.min_block_size
-            ):
-                parts.append(idx)
-                continue
-            stack.append(idx[left])
-            stack.append(idx[right])
-        return parts
-
-    def _assign_target(
-        self,
-        source: AttributedGraph,
-        target: AttributedGraph,
-        source_parts: list[np.ndarray],
-    ) -> list[np.ndarray]:
-        """Assign each target node to the most similar source part.
-
-        Uses cheap intra-graph signatures — degree percentile plus
-        (when available) feature centroids — so the assignment is
-        feature-space-agnostic when features are incomparable.
-        """
-        if source.features is not None and target.features is not None and (
-            source.features.shape[1] == target.features.shape[1]
-        ):
-            src_sig = row_normalize(source.features)
-            tgt_sig = row_normalize(target.features)
-            centroids = np.stack(
-                [src_sig[part].mean(axis=0) for part in source_parts]
-            )
-            scores = tgt_sig @ centroids.T
-        else:
-            # structure-only fallback: degree percentile matching
-            src_deg = source.degrees
-            tgt_deg = target.degrees
-            centroids = np.array(
-                [np.mean(np.log1p(src_deg[part])) for part in source_parts]
-            )
-            scores = -np.abs(
-                np.log1p(tgt_deg)[:, None] - centroids[None, :]
-            )
-        assignment = np.argmax(scores, axis=1)
-        # balance: cap each part's target size at twice its source size
-        target_parts = [
-            np.flatnonzero(assignment == p) for p in range(len(source_parts))
-        ]
-        return _rebalance(target_parts, source_parts, scores)
-
-
-_DENSE_BISECT_CUTOFF = 64
-"""Below this block size the dense eigendecomposition wins: ARPACK's
-per-iteration overhead dominates and ``eigh`` on a tiny block is exact
-and branch-free."""
-
-
-def _fiedler_vector(graph: AttributedGraph) -> np.ndarray:
-    """Second-largest eigenvector of the normalised adjacency.
-
-    Large blocks use ``scipy.sparse.linalg.eigsh(k=2)`` on the sparse
-    matrix — O(iters · nnz) instead of the dense O(n³) ``eigh`` — with
-    a deterministic start vector so partitions are reproducible.  Tiny
-    blocks, and any block where the Lanczos iteration fails to
-    converge, fall back to the dense path.
-    """
-    norm = symmetric_normalize(graph.adjacency)
-    n = norm.shape[0]
-    if n <= 1:
-        return np.zeros(n)
-    if n > _DENSE_BISECT_CUTOFF:
-        try:
-            eigvals, eigvecs = sp.linalg.eigsh(
-                norm, k=2, which="LA", v0=np.full(n, 1.0 / np.sqrt(n))
-            )
-            # eigsh orders ascending for LA; the Fiedler direction is
-            # the second-largest eigenvalue's vector
-            return eigvecs[:, np.argsort(eigvals)[-2]]
-        except (sp.linalg.ArpackNoConvergence, RuntimeError):
-            pass  # dense fallback below
-    eigvals, eigvecs = np.linalg.eigh(norm.toarray())
-    return eigvecs[:, -2]
-
-
-def _spectral_bisect(graph: AttributedGraph) -> tuple[np.ndarray, np.ndarray]:
-    """Bisect by the Fiedler vector of the normalised adjacency."""
-    # second-largest eigenvector of Â == Fiedler direction of Laplacian
-    fiedler = _fiedler_vector(graph)
-    median = np.median(fiedler)
-    left = np.flatnonzero(fiedler <= median)
-    right = np.flatnonzero(fiedler > median)
-    if left.size == 0 or right.size == 0:
-        half = graph.n_nodes // 2
-        order = np.argsort(fiedler)
-        left, right = order[:half], order[half:]
-    return left, right
-
-
-def _rebalance(
-    target_parts: list[np.ndarray],
-    source_parts: list[np.ndarray],
-    scores: np.ndarray,
-) -> list[np.ndarray]:
-    """Cap over-full target parts, spilling nodes to their next-best part."""
-    capacities = [max(2 * part.size, 1) for part in source_parts]
-    order = np.argsort(-scores.max(axis=1))  # most confident first
-    filled: list[list[int]] = [[] for _ in source_parts]
-    preference = np.argsort(-scores, axis=1)
-    for node in order:
-        for part in preference[node]:
-            if len(filled[part]) < capacities[part]:
-                filled[part].append(int(node))
-                break
-        else:
-            filled[int(preference[node][0])].append(int(node))
-    return [np.array(sorted(members), dtype=np.int64) for members in filled]
+__all__ = [
+    "DENSE_GUARD_ENTRIES",
+    "DivideAndConquerAligner",
+    "PartitionedAlignment",
+    "assign_target",
+    "bisect_partition",
+    "kway_partition",
+    "_DENSE_BISECT_CUTOFF",
+    "_fiedler_vector",
+    "_rebalance",
+    "_spectral_bisect",
+]

@@ -225,22 +225,45 @@ class SLOTAlign:
         self.beta_target: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    def prepare_bases(
+        self, source: AttributedGraph, target: AttributedGraph
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Build the structure bases for a graph pair, for reuse.
+
+        Block-level reuse hook: callers that solve the same (sub)graph
+        pair repeatedly — trajectory capture, sensitivity sweeps, the
+        partitioned pipeline's diagnostics — can pay the basis
+        construction once and pass the result to :meth:`fit` via
+        ``bases=``.
+        """
+        cfg = self.config
+        return (
+            build_structure_bases(
+                source, cfg.n_bases, cfg.include_views, cfg.normalize_bases
+            ),
+            build_structure_bases(
+                target, cfg.n_bases, cfg.include_views, cfg.normalize_bases
+            ),
+        )
+
     def fit(
         self,
         source: AttributedGraph,
         target: AttributedGraph,
         init_plan: np.ndarray | None = None,
+        bases: tuple[list[np.ndarray], list[np.ndarray]] | None = None,
     ) -> AlignmentResult:
-        """Align ``source`` to ``target`` and return the soft plan."""
+        """Align ``source`` to ``target`` and return the soft plan.
+
+        ``bases`` injects the output of :meth:`prepare_bases` so
+        repeated solves of the same pair skip the basis construction.
+        """
         cfg = self.config
         with Timer() as timer:
             t0 = time.perf_counter()
-            source_bases = build_structure_bases(
-                source, cfg.n_bases, cfg.include_views, cfg.normalize_bases
-            )
-            target_bases = build_structure_bases(
-                target, cfg.n_bases, cfg.include_views, cfg.normalize_bases
-            )
+            if bases is None:
+                bases = self.prepare_bases(source, target)
+            source_bases, target_bases = bases
             k = len(source_bases)
             if len(target_bases) != k:
                 raise GraphError(

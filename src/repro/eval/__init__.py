@@ -5,6 +5,7 @@ from repro.eval.metrics import (
     mean_reciprocal_rank,
     alignment_accuracy,
     evaluate_plan,
+    sparse_topk,
 )
 from repro.eval.robustness import (
     SweepResult,
@@ -20,6 +21,7 @@ __all__ = [
     "mean_reciprocal_rank",
     "alignment_accuracy",
     "evaluate_plan",
+    "sparse_topk",
     "SweepResult",
     "run_structure_sweep",
     "run_feature_sweep",

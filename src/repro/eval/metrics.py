@@ -4,22 +4,31 @@ The paper evaluates with Hit@k: the percentage of ground-truth source
 nodes whose true target lands in the top-k candidates of the plan row.
 All ground-truth correspondences are used (no train/test split — the
 methods are unsupervised).
+
+Every metric accepts either a dense ``n × m`` array or a
+``scipy.sparse`` matrix (the partitioned pipeline's stitched plans).
+The sparse path ranks each row's stored entries against its implicit
+zeros directly — it never densifies — and is **exactly** equal to the
+dense computation: the mid-rank counts are integers either way, so the
+two paths agree bit-for-bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import ShapeError
 
 
-def hits_at_k(plan: np.ndarray, ground_truth: np.ndarray, k: int) -> float:
+def hits_at_k(plan, ground_truth: np.ndarray, k: int) -> float:
     """Hit@k in **percent** (0-100), matching the paper's tables.
 
     Parameters
     ----------
     plan:
-        ``n × m`` soft correspondence scores.
+        ``n × m`` soft correspondence scores (dense array or sparse
+        matrix; sparse plans are evaluated without densification).
     ground_truth:
         ``t × 2`` array of (source, target) anchor pairs.
     k:
@@ -30,21 +39,26 @@ def hits_at_k(plan: np.ndarray, ground_truth: np.ndarray, k: int) -> float:
         raise ValueError(f"k must be >= 1, got {k}")
     if gt.shape[0] == 0:
         return 0.0
-    rows = plan[gt[:, 0]]
-    true_scores = rows[np.arange(gt.shape[0]), gt[:, 1]]
-    rank = _mid_rank(rows, true_scores)
+    rank = _rank_true_targets(plan, gt)
     return float(np.mean(rank < k) * 100.0)
 
 
-def mean_reciprocal_rank(plan: np.ndarray, ground_truth: np.ndarray) -> float:
+def mean_reciprocal_rank(plan, ground_truth: np.ndarray) -> float:
     """MRR of the true target within each plan row (in [0, 1])."""
     plan, gt = _validate(plan, ground_truth)
     if gt.shape[0] == 0:
         return 0.0
+    rank = _rank_true_targets(plan, gt) + 1.0
+    return float(np.mean(1.0 / rank))
+
+
+def _rank_true_targets(plan, gt: np.ndarray) -> np.ndarray:
+    """Mid-rank of every ground-truth target, dense or sparse plan."""
+    if sp.issparse(plan):
+        return _sparse_mid_rank(plan, gt)
     rows = plan[gt[:, 0]]
     true_scores = rows[np.arange(gt.shape[0]), gt[:, 1]]
-    rank = _mid_rank(rows, true_scores) + 1.0
-    return float(np.mean(1.0 / rank))
+    return _mid_rank(rows, true_scores)
 
 
 def _mid_rank(rows: np.ndarray, true_scores: np.ndarray) -> np.ndarray:
@@ -58,6 +72,76 @@ def _mid_rank(rows: np.ndarray, true_scores: np.ndarray) -> np.ndarray:
     strictly_larger = np.sum(rows > true_scores[:, None], axis=1)
     ties = np.sum(rows == true_scores[:, None], axis=1) - 1  # exclude self
     return strictly_larger + 0.5 * ties
+
+
+def _sparse_mid_rank(plan: sp.csr_array, gt: np.ndarray) -> np.ndarray:
+    """Mid-rank over a CSR plan, counting implicit zeros analytically.
+
+    Per ground-truth pair: the stored entries of the row are compared
+    against the true score directly, and the ``m − nnz`` implicit
+    zeros join the strictly-larger count (when the true score is
+    negative) or the tie group (when it is zero).  Identical, bit for
+    bit, to :func:`_mid_rank` on the densified row.
+    """
+    m = plan.shape[1]
+    indptr, indices, data = plan.indptr, plan.indices, plan.data
+    ranks = np.empty(gt.shape[0])
+    for i, (row, col) in enumerate(gt):
+        lo, hi = indptr[row], indptr[row + 1]
+        row_idx = indices[lo:hi]
+        row_val = data[lo:hi]
+        pos = np.searchsorted(row_idx, col)
+        stored = pos < row_idx.size and row_idx[pos] == col
+        true = float(row_val[pos]) if stored else 0.0
+        implicit = m - row_val.size
+        larger = int(np.sum(row_val > true))
+        ties = int(np.sum(row_val == true)) - 1
+        if true < 0.0:
+            larger += implicit
+        elif true == 0.0:
+            # the implicit zeros tie with the true score; when the true
+            # entry is itself implicit it is part of ``implicit`` and
+            # the −1 self-exclusion above already accounts for it
+            ties += implicit
+        ranks[i] = larger + 0.5 * ties
+    return ranks
+
+
+def sparse_topk(plan, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k candidate columns and scores per row, without densifying.
+
+    Returns ``(cols, scores)`` of shape ``(n, k)``: per row the stored
+    entries ordered by decreasing score (ties by increasing column),
+    padded with column ``-1`` / score ``0.0`` when a row stores fewer
+    than ``k`` entries.  Accepts dense input too (for API symmetry).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not sp.issparse(plan):
+        plan = sp.csr_array(np.asarray(plan, dtype=np.float64))
+    csr = _sorted_csr(plan)
+    n = csr.shape[0]
+    cols = np.full((n, k), -1, dtype=np.int64)
+    scores = np.zeros((n, k))
+    indptr, indices, data = csr.indptr, csr.indices, csr.data
+    if data.size == 0:
+        return cols, scores
+    counts = np.diff(indptr)
+    row_of = np.repeat(np.arange(n), counts)
+    # one global sort: by row, then decreasing score, then column —
+    # each row's span comes out in exactly the per-row ranking order
+    order = np.lexsort((indices, -data, row_of))
+    take = np.minimum(counts, k)
+    starts = indptr[:-1]
+    # slot j of row i reads the j-th entry of the row's sorted span
+    out_rows = np.repeat(np.arange(n), take)
+    slots = np.arange(take.sum()) - np.repeat(
+        np.cumsum(take) - take, take
+    )
+    picked = order[np.repeat(starts, take) + slots]
+    cols[out_rows, slots] = indices[picked]
+    scores[out_rows, slots] = data[picked]
+    return cols, scores
 
 
 def alignment_accuracy(matching: np.ndarray, ground_truth: np.ndarray) -> float:
@@ -74,19 +158,48 @@ def alignment_accuracy(matching: np.ndarray, ground_truth: np.ndarray) -> float:
 
 
 def evaluate_plan(
-    plan: np.ndarray, ground_truth: np.ndarray, ks=(1, 5, 10, 30)
+    plan, ground_truth: np.ndarray, ks=(1, 5, 10, 30)
 ) -> dict[str, float]:
-    """Hit@k for each requested k plus MRR, as a flat dict."""
-    report = {f"hits@{k}": hits_at_k(plan, ground_truth, k) for k in ks}
-    report["mrr"] = mean_reciprocal_rank(plan, ground_truth)
+    """Hit@k for each requested k plus MRR, as a flat dict.
+
+    The mid-ranks are computed once and every metric is derived from
+    them — on sparse plans this avoids re-validating (and re-copying)
+    the matrix per metric.
+    """
+    for k in ks:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+    plan, gt = _validate(plan, ground_truth)
+    if gt.shape[0] == 0:
+        return {f"hits@{k}": 0.0 for k in ks} | {"mrr": 0.0}
+    rank = _rank_true_targets(plan, gt)
+    report = {f"hits@{k}": float(np.mean(rank < k) * 100.0) for k in ks}
+    report["mrr"] = float(np.mean(1.0 / (rank + 1.0)))
     return report
 
 
+def _sorted_csr(plan) -> sp.csr_array:
+    """CSR with sorted indices, copying first if sorting would mutate.
+
+    ``sp.csr_array(other_csr)`` shares the underlying buffers, so an
+    in-place ``sort_indices()`` would reorder the *caller's* arrays as
+    a side effect.
+    """
+    csr = sp.csr_array(plan)
+    if not csr.has_sorted_indices:
+        csr = csr.copy()
+        csr.sort_indices()
+    return csr
+
+
 def _validate(plan, ground_truth):
-    plan = np.asarray(plan, dtype=np.float64)
+    if sp.issparse(plan):
+        plan = _sorted_csr(plan).astype(np.float64)
+    else:
+        plan = np.asarray(plan, dtype=np.float64)
+        if plan.ndim != 2:
+            raise ShapeError(f"plan must be 2-D, got shape {plan.shape}")
     gt = np.asarray(ground_truth, dtype=np.int64)
-    if plan.ndim != 2:
-        raise ShapeError(f"plan must be 2-D, got shape {plan.shape}")
     if gt.ndim != 2 or gt.shape[1] != 2:
         raise ShapeError(f"ground_truth must be t x 2, got shape {gt.shape}")
     if gt.size:

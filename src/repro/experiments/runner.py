@@ -14,10 +14,11 @@ from repro.experiments.fig3_motivation import run_fig3
 from repro.experiments.fig6_structure import run_fig6
 from repro.experiments.fig7_feature import run_fig7
 from repro.experiments.fig8_sensitivity import run_fig8
+from repro.experiments.scalability import run_scalability
 from repro.experiments.table2_realworld import run_table2
 from repro.experiments.table3_dbp15k import run_table3
 
-EXPERIMENTS = ("fig3", "fig6", "fig7", "table2", "table3", "fig8")
+EXPERIMENTS = ("fig3", "fig6", "fig7", "table2", "table3", "fig8", "scale")
 
 
 def main(argv=None) -> int:
@@ -75,6 +76,15 @@ def run_experiment(name: str, scale: ExperimentScale) -> str:
         return "\n\n".join(
             format_table(rows, title=f"Table III — DBP15K {subset}")
             for subset, rows in out.items()
+        )
+    if name == "scale":
+        out = run_scalability(scale)
+        return format_table(
+            out["curve"],
+            title=(
+                "Scalability — whole-graph vs partitioned "
+                f"(cpu_count={out['cpu_count']})"
+            ),
         )
     if name == "fig8":
         out = run_fig8(scale)

@@ -29,6 +29,13 @@ from repro.graphs.perturbation import (
     add_feature_noise,
     drop_edges,
 )
+from repro.graphs.partition import (
+    partition_assignment,
+    cut_edges,
+    boundary_nodes,
+    adjacent_parts,
+    edge_cut_fraction,
+)
 from repro.graphs.io import save_graph, load_graph
 from repro.graphs.statistics import (
     average_degree,
@@ -63,6 +70,11 @@ __all__ = [
     "compress_features",
     "add_feature_noise",
     "drop_edges",
+    "partition_assignment",
+    "cut_edges",
+    "boundary_nodes",
+    "adjacent_parts",
+    "edge_cut_fraction",
     "save_graph",
     "load_graph",
     "average_degree",

@@ -1,0 +1,99 @@
+"""Partition bookkeeping: cut edges, boundary nodes, part adjacency.
+
+These helpers power the ``repro.scale`` subsystem: the boundary-repair
+pass needs to know which nodes sit on a partition cut (they are the
+candidates whose correspondences the block solver may have lost) and
+which part pairs share cut edges (the only blocks worth re-scoring
+against).  All functions take a *node-to-part assignment* vector so
+they compose with any partitioner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import AttributedGraph
+
+
+def partition_assignment(parts, n_nodes: int) -> np.ndarray:
+    """Node-to-part id vector from a list of index arrays.
+
+    Parameters
+    ----------
+    parts:
+        List of node-index arrays, one per part.  Parts must be
+        disjoint; nodes missing from every part get id ``-1``.
+    n_nodes:
+        Total number of nodes in the graph.
+    """
+    assignment = np.full(n_nodes, -1, dtype=np.int64)
+    for part_id, idx in enumerate(parts):
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            continue
+        if idx.min() < 0 or idx.max() >= n_nodes:
+            raise GraphError("partition indices out of range")
+        if np.any(assignment[idx] != -1):
+            raise GraphError("partition parts overlap")
+        assignment[idx] = part_id
+    return assignment
+
+
+def cut_edges(graph: AttributedGraph, assignment: np.ndarray) -> np.ndarray:
+    """``c × 2`` array (``u < v``) of edges whose endpoints differ in part.
+
+    Edges touching an unassigned node (``-1``) are counted as cut: the
+    node is outside every block, so the edge cannot be modelled by any
+    block solver.
+    """
+    assignment = _check_assignment(graph, assignment)
+    edges = graph.edge_list()
+    if edges.size == 0:
+        return edges.reshape(0, 2)
+    pu = assignment[edges[:, 0]]
+    pv = assignment[edges[:, 1]]
+    crossing = (pu != pv) | (pu == -1) | (pv == -1)
+    return edges[crossing]
+
+
+def boundary_nodes(graph: AttributedGraph, assignment: np.ndarray) -> np.ndarray:
+    """Sorted indices of nodes incident to at least one cut edge."""
+    crossing = cut_edges(graph, assignment)
+    if crossing.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(crossing)
+
+
+def adjacent_parts(graph: AttributedGraph, assignment: np.ndarray) -> set:
+    """Unordered part-id pairs ``(i, j)``, ``i < j``, joined by a cut edge.
+
+    Pairs involving unassigned nodes are omitted — there is no block to
+    re-score against.
+    """
+    assignment = _check_assignment(graph, assignment)
+    crossing = cut_edges(graph, assignment)
+    pairs = set()
+    for u, v in crossing:
+        pu, pv = int(assignment[u]), int(assignment[v])
+        if pu == -1 or pv == -1 or pu == pv:
+            continue
+        pairs.add((min(pu, pv), max(pu, pv)))
+    return pairs
+
+
+def edge_cut_fraction(graph: AttributedGraph, assignment: np.ndarray) -> float:
+    """Fraction of edges lost to the cut (LIME reports ≈0.2 at 75 parts)."""
+    if graph.n_edges == 0:
+        return 0.0
+    return cut_edges(graph, assignment).shape[0] / graph.n_edges
+
+
+def _check_assignment(graph: AttributedGraph, assignment) -> np.ndarray:
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_nodes,):
+        raise GraphError(
+            f"assignment must have shape ({graph.n_nodes},), "
+            f"got {assignment.shape}"
+        )
+    return assignment

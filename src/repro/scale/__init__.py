@@ -1,0 +1,64 @@
+"""Large-graph alignment subsystem: partition → align → stitch → repair.
+
+Public surface of the divide-and-conquer pipeline (paper Sec. IV-D
+future work, made concrete): partitioners, the block executor, the
+boundary-repair pass and the orchestrating aligner.
+"""
+
+from repro.scale.aligner import (
+    DENSE_GUARD_ENTRIES,
+    DivideAndConquerAligner,
+    PartitionedAlignment,
+)
+from repro.scale.boundary import (
+    RepairStats,
+    anchor_agreement,
+    collect_anchors,
+    repair_plan,
+)
+from repro.scale.diagnostics import (
+    ground_truth_target_parts,
+    hit1_mask,
+    inject_misassignment,
+)
+from repro.scale.executor import (
+    EXECUTORS,
+    align_block,
+    available_cpus,
+    resolve_executor,
+    run_blocks,
+)
+from repro.scale.partition import (
+    assign_target,
+    assignment_scores,
+    bisect_partition,
+    fiedler_vector,
+    kway_partition,
+    rebalance,
+    spectral_bisect,
+)
+
+__all__ = [
+    "DENSE_GUARD_ENTRIES",
+    "DivideAndConquerAligner",
+    "PartitionedAlignment",
+    "RepairStats",
+    "anchor_agreement",
+    "collect_anchors",
+    "repair_plan",
+    "ground_truth_target_parts",
+    "hit1_mask",
+    "inject_misassignment",
+    "EXECUTORS",
+    "align_block",
+    "available_cpus",
+    "resolve_executor",
+    "run_blocks",
+    "assign_target",
+    "assignment_scores",
+    "bisect_partition",
+    "fiedler_vector",
+    "kway_partition",
+    "rebalance",
+    "spectral_bisect",
+]

@@ -1,0 +1,29 @@
+"""Shared test-harness fixtures.
+
+Adds the ``--update-goldens`` flag: golden-fixture tests
+(``tests/test_goldens.py``) compare solver outputs against committed
+known-good artefacts under ``tests/goldens/``; after an *intentional*
+behaviour change, regenerate them with
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+and commit the refreshed files alongside the change that explains them.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the golden fixtures under tests/goldens/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """Whether this run should rewrite the golden fixtures."""
+    return request.config.getoption("--update-goldens")

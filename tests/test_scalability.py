@@ -85,3 +85,49 @@ class TestDivideAndConquer:
             pair.source, pair.target
         )
         assert out.runtime > 0
+
+
+class TestScaleSubsystemIntegration:
+    """The rebuilt pipeline through the historical entry point."""
+
+    def test_direct_kway_mode(self):
+        pair = big_pair(seed=7)
+        out = DivideAndConquerAligner(FAST_CFG, n_parts=4).fit(
+            pair.source, pair.target
+        )
+        assert out.extras["n_parts"] == 4
+        sizes = [src.size for src, _ in out.partitions]
+        assert max(sizes) - min(sizes) <= 1
+        assert 0.0 <= out.extras["source_cut_fraction"] <= 1.0
+
+    def test_sparse_accessors(self):
+        pair = big_pair(seed=8)
+        out = DivideAndConquerAligner(FAST_CFG, n_parts=3).fit(
+            pair.source, pair.target
+        )
+        cols, scores = out.top_k(5)
+        n = pair.source.n_nodes
+        assert cols.shape == scores.shape == (n, 5)
+        matching = out.matching()
+        assert matching.shape == (n,)
+        # top-1 column agrees with the matching, scores are descending
+        assert np.array_equal(cols[:, 0], matching)
+        valid = cols[:, 1] != -1
+        assert np.all(scores[valid, 0] >= scores[valid, 1])
+
+    def test_kway_respects_min_block_size(self):
+        pair = big_pair(seed=7)  # 80 nodes
+        aligner = DivideAndConquerAligner(
+            FAST_CFG, n_parts=20, min_block_size=8
+        )
+        with pytest.raises(GraphError):
+            aligner.fit(pair.source, pair.target)
+
+    def test_repair_stats_exposed(self):
+        pair = big_pair(seed=9)
+        out = DivideAndConquerAligner(FAST_CFG, n_parts=4).fit(
+            pair.source, pair.target
+        )
+        stats = out.extras["repair"]
+        assert stats["n_patched"] == len(stats["patched_pairs"])
+        assert stats["n_anchors"] >= 0
