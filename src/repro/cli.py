@@ -37,12 +37,23 @@ from repro.scale import DivideAndConquerAligner
 
 
 def _slot_config(args) -> SLOTAlignConfig:
+    if args.hop_mix != 1.0 and not args.cosine_hops:
+        raise SystemExit(
+            "--hop-mix only takes effect with --cosine-hops "
+            "(lazy-walk propagation is part of the renormalised hops)"
+        )
     return SLOTAlignConfig(
         n_bases=args.n_bases,
         structure_lr=args.tau,
         sinkhorn_lr=args.eta,
         max_outer_iter=args.iters,
         track_history=False,
+        tie_weights=args.tie_weights,
+        center_kernels=args.center_kernels,
+        renormalize_hops=args.cosine_hops,
+        hop_mix=args.hop_mix,
+        use_feature_similarity_init=args.similarity_init,
+        anneal=not args.similarity_init,
     )
 
 
@@ -93,6 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--tau", type=float, default=0.1)
     align.add_argument("--eta", type=float, default=0.01)
     align.add_argument("--iters", type=int, default=150)
+    # multi-view base construction (PR 4 degenerate-view fixes)
+    align.add_argument(
+        "--tie-weights", action="store_true",
+        help="share one structure-weight vector across both graphs",
+    )
+    align.add_argument(
+        "--center-kernels", action="store_true",
+        help="double-centre feature-kernel views (degenerate-view fix)",
+    )
+    align.add_argument(
+        "--cosine-hops", action="store_true",
+        help="row-normalise propagated features per subgraph hop",
+    )
+    align.add_argument(
+        "--hop-mix", type=float, default=1.0,
+        help="lazy-walk mixing coefficient for subgraph hops (with "
+        "--cosine-hops); 1.0 is plain propagation",
+    )
+    align.add_argument(
+        "--similarity-init", action="store_true",
+        help="initialise the plan from cross-graph feature similarity "
+        "(Sec. V-C; disables annealing)",
+    )
     # partitioned-pipeline knobs (method "partitioned")
     align.add_argument(
         "--n-parts", type=int, default=None,

@@ -6,7 +6,13 @@ from repro.core.config import (
     REAL_WORLD_CONFIG,
     DBP15K_CONFIG,
 )
-from repro.core.views import build_structure_bases, combine_bases, normalize_basis
+from repro.core.views import (
+    build_relation_bases,
+    build_structure_bases,
+    center_kernel,
+    combine_bases,
+    normalize_basis,
+)
 from repro.core.objective import JointObjective
 from repro.core.convergence import IterateHistory
 from repro.core.result import AlignmentResult
@@ -18,7 +24,9 @@ __all__ = [
     "SEMI_SYNTHETIC_CONFIG",
     "REAL_WORLD_CONFIG",
     "DBP15K_CONFIG",
+    "build_relation_bases",
     "build_structure_bases",
+    "center_kernel",
     "combine_bases",
     "normalize_basis",
     "JointObjective",

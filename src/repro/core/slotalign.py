@@ -22,6 +22,11 @@ documented in DESIGN.md and ablatable through the config):
   iterate with the lowest objective value.  All restart ingredients are
   intra-graph, so Proposition 4's feature-permutation invariance holds
   for the full procedure;
+* **tied structure weights** (``tie_weights``) — both graphs share one
+  weight vector, updated with the averaged β-gradient.  Independently
+  learned weights can collapse onto *different* views per graph, after
+  which ``tr(D_s π D_t πᵀ)`` compares incomparable mixtures and the
+  alignment silently degrades (the seed-era Table II/III failures);
 * **restart-portfolio scheduling** — instead of running every restart
   at the full iteration budget, the portfolio is successively halved:
   at an early checkpoint (and again after the annealing horizon, where
@@ -162,6 +167,12 @@ class _RestartRun:
                 grad = objective.alpha_gradient(
                     plan, new_alpha[:k], new_alpha[k:]
                 )
+                if cfg.tie_weights:
+                    # shared weights: both halves take the averaged
+                    # gradient, so beta_s == beta_t is an invariant of
+                    # the iteration (the halves start equal)
+                    mean = 0.5 * (grad[:k] + grad[k:])
+                    grad = np.concatenate([mean, mean])
                 new_alpha = project_concatenated_simplices(
                     new_alpha - cfg.structure_lr * grad, k
                 )
@@ -239,10 +250,16 @@ class SLOTAlign:
         cfg = self.config
         return (
             build_structure_bases(
-                source, cfg.n_bases, cfg.include_views, cfg.normalize_bases
+                source, cfg.n_bases, cfg.include_views, cfg.normalize_bases,
+                center_kernels=cfg.center_kernels,
+                renormalize_hops=cfg.renormalize_hops,
+                hop_mix=cfg.hop_mix,
             ),
             build_structure_bases(
-                target, cfg.n_bases, cfg.include_views, cfg.normalize_bases
+                target, cfg.n_bases, cfg.include_views, cfg.normalize_bases,
+                center_kernels=cfg.center_kernels,
+                renormalize_hops=cfg.renormalize_hops,
+                hop_mix=cfg.hop_mix,
             ),
         )
 

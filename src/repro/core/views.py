@@ -8,7 +8,26 @@ For a graph ``G = (V, A, X)`` with normalised adjacency ``Â``:
 
 Features are row-L2-normalised first so the inner product equals cosine
 similarity (the paper's note under node-view), and each basis is
-max-abs normalised so views share a scale.
+normalised so views share a scale.
+
+Two optional refinements harden the construction on the real-world and
+KG pairs (both opt-in, both permutation-equivariant so Proposition 4 is
+preserved; see DESIGN.md "Degenerate views"):
+
+* **kernel centring** (``center_kernels``) — feature-kernel views are
+  double-centred, removing the constant component whose GW cross term
+  is maximal under any coupling and which otherwise attracts all the
+  structure weight ("degenerate β-update");
+* **attribute-propagated cosine hops** (``renormalize_hops`` +
+  ``hop_mix``) — subgraph views re-normalise the propagated features
+  per hop (cosine semantics at every depth) and propagate with the
+  lazy walk ``(1−λ)I + λÂ``, so hub norms cannot collapse the hop
+  kernels toward rank one.
+
+Relation-aware bases for knowledge graphs live in
+:func:`build_relation_bases`: per-relation adjacencies of the most
+frequent relation types, the "relation view" family of Sec. IV applied
+to typed triples.
 """
 
 from __future__ import annotations
@@ -17,7 +36,7 @@ import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import AttributedGraph
-from repro.graphs.normalization import row_normalize
+from repro.graphs.normalization import row_normalize, symmetric_normalize
 from repro.gnn.propagation import propagation_stack
 
 
@@ -26,6 +45,9 @@ def build_structure_bases(
     n_bases: int,
     include_views: tuple[str, ...] = ("edge", "node", "subgraph"),
     normalize: bool = True,
+    center_kernels: bool = False,
+    renormalize_hops: bool = False,
+    hop_mix: float = 1.0,
 ) -> list[np.ndarray]:
     """Construct the candidate bases ``{D(q)}`` for one graph.
 
@@ -39,7 +61,16 @@ def build_structure_bases(
     include_views:
         Subset of {"edge", "node", "subgraph"} — the ablation hook.
     normalize:
-        Max-abs normalise every basis.
+        Frobenius-normalise every basis (unit RMS entry).
+    center_kernels:
+        Double-centre the feature-kernel views (node and subgraph);
+        the edge view is left untouched.
+    renormalize_hops:
+        Row-normalise propagated features per hop before the Gram
+        (cosine semantics at every depth).
+    hop_mix:
+        Lazy-walk coefficient λ for the subgraph propagation when
+        ``renormalize_hops`` is on; ``1.0`` is plain ``Â`` propagation.
 
     Returns
     -------
@@ -56,15 +87,24 @@ def build_structure_bases(
         raise GraphError("node/subgraph views require node features")
 
     bases: list[np.ndarray] = []
+    kernel_start = 0
     if "edge" in views:
         bases.append(graph.dense_adjacency())
+        kernel_start = 1
     if needs_features:
         feats = row_normalize(graph.features)
         if "node" in views and len(bases) < n_bases:
             bases.append(feats @ feats.T)
         if "subgraph" in views:
             n_hops = n_bases - len(bases)
-            if n_hops > 0:
+            if n_hops > 0 and renormalize_hops:
+                norm_adj = symmetric_normalize(graph.adjacency)
+                z = feats
+                for _ in range(n_hops):
+                    z = (1.0 - hop_mix) * z + hop_mix * np.asarray(norm_adj @ z)
+                    zn = row_normalize(z)
+                    bases.append(zn @ zn.T)
+            elif n_hops > 0:
                 # propagate the *normalised* features, matching the
                 # released implementation's use of cosine-scaled inputs
                 prop_graph = graph.with_features(feats)
@@ -75,8 +115,121 @@ def build_structure_bases(
     bases = bases[:n_bases]
     if not bases:
         raise GraphError("no structure bases could be built from the requested views")
+    if center_kernels:
+        bases = [
+            basis if index < kernel_start else _centered_or_inert(basis)
+            for index, basis in enumerate(bases)
+        ]
     if normalize:
         bases = [normalize_basis(b) for b in bases]
+    return bases
+
+
+def inert_kernel(n: int) -> np.ndarray:
+    """The centred identity ``H = I − 11ᵀ/n``: the canonical
+    information-free-but-non-degenerate basis.
+
+    Positive energy (not an energy sink for the β-update), no constant
+    component (no degenerate attraction), identical on both graphs of
+    a pair.  Used wherever a view slot must be filled without signal:
+    dead centred kernels and missing relation types.
+    """
+    return np.eye(n) - np.full((n, n), 1.0 / n)
+
+
+def _centered_or_inert(basis: np.ndarray, rtol: float = 1e-9) -> np.ndarray:
+    """Centre a kernel; substitute the inert kernel if nothing is left.
+
+    An (exactly) constant kernel — degenerate features — centres to the
+    zero matrix, which is worse than useless to the β-update: the zero
+    view has zero energy *and* zero cross term, so ``F`` is minimised
+    by draining all weight into it and the solver returns the uniform
+    plan.  Such dead views are replaced by the centred identity
+    ``H = I − 11ᵀ/n``: it has positive energy (no energy sink), no
+    constant component (no degenerate attraction), and is identical on
+    both graphs, so the weight update can freely move to the live
+    structure views — feature-degenerate pairs then degrade to GW on
+    structure instead of collapsing.
+    """
+    arr = np.asarray(basis, dtype=np.float64)
+    centred = center_kernel(arr)
+    if np.linalg.norm(centred) <= rtol * max(np.linalg.norm(arr), 1.0):
+        return inert_kernel(arr.shape[0])
+    return centred
+
+
+def center_kernel(basis: np.ndarray) -> np.ndarray:
+    """Double-centre a kernel: ``H D H`` with ``H = I − 11ᵀ/n``.
+
+    Removes the rank-one constant component (row/column means and the
+    grand mean).  A similarity kernel's constant mass produces a GW
+    cross term that is maximal under *every* coupling, so it carries no
+    alignment information while dominating the β-gradient; centring
+    subtracts exactly that plan-independent part.  Centring commutes
+    with simultaneous row/column permutation, so permutation
+    equivariance of the basis construction (Prop. 4) is preserved.
+    """
+    arr = np.asarray(basis, dtype=np.float64)
+    row_means = arr.mean(axis=1, keepdims=True)
+    col_means = arr.mean(axis=0, keepdims=True)
+    return arr - row_means - col_means + arr.mean()
+
+
+def build_relation_bases(
+    kg,
+    n_views: int,
+    normalize: bool = True,
+    relation_ids: list[int] | None = None,
+) -> list[np.ndarray]:
+    """Relation-aware bases: adjacencies of the most frequent relations.
+
+    Parameters
+    ----------
+    kg:
+        A :class:`repro.datasets.kg.KnowledgeGraph`.
+    n_views:
+        Number of relation views; relations are ranked by triple count
+        (ties broken by relation id, so the order is deterministic).
+    relation_ids:
+        Explicit relation ids to build views for, overriding the
+        per-KG ranking.  **Pair callers must use this**: relation ids
+        are shared vocabulary across the two graphs of a pair (the
+        ontology is language-independent), but each side's frequency
+        ranking is its own sample — ranking independently per KG can
+        select *different* relations on the two sides, turning the
+        relation view into cross-graph noise.  Rank once on combined
+        counts (:func:`repro.datasets.kg.rank_relations`) and pass the
+        result to both calls.
+
+    Returns
+    -------
+    ``n_views`` dense symmetric adjacencies, Frobenius-normalised when
+    ``normalize``.  Requested views beyond the available relation
+    types are padded with the inert centred identity so both graphs of
+    a pair always produce the same view count — *not* with zeros: a
+    zero basis has zero energy and zero cross term, so the β-update
+    would minimise F by draining all weight into it (the energy-sink
+    degeneracy, see :func:`_centered_or_inert`).
+    """
+    if n_views < 1:
+        raise GraphError(f"n_views must be >= 1, got {n_views}")
+    ranked = (
+        list(relation_ids)[:n_views]
+        if relation_ids is not None
+        else kg.top_relations(n_views)
+    )
+    bases: list[np.ndarray] = []
+    for rank in range(n_views):
+        dense = None
+        if rank < len(ranked) and 0 <= ranked[rank] < max(kg.n_relations, 1):
+            dense = kg.relation_adjacency(int(ranked[rank])).toarray()
+            if not dense.any():
+                # a shared id can be frequent in the paired KG yet
+                # absent here; an all-zero basis is an energy sink
+                dense = None
+        if dense is None:
+            dense = inert_kernel(kg.n_entities)
+        bases.append(normalize_basis(dense) if normalize else dense)
     return bases
 
 

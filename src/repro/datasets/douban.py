@@ -14,6 +14,20 @@ reproduce:
   shared core);
 * **weak features** — location one-hots are coarse (many users share a
   location), so feature KNN performs terribly, as in Table II.
+
+Calibration notes (PR 4, paper-fidelity recovery): the baseline shape
+matches the paper — KNN and GWD land at ~1 %, the GNN cross-compare
+methods in the twenties.  The exactly-shared one-hot features make the
+first-order feature anchor stronger than in the real data, so
+fixed-fusion FusedGW (not a paper baseline) is the method to beat
+here; harder feature variants were audited (per-view location
+re-draws, multi-hot visit profiles, rewiring sweeps 0.05-0.35) and
+every one degrades the second-order protocol at least as fast as the
+linear anchor or breaks the "KNN terrible" shape, so the pair is kept
+as-is.  What recovers the cell is the scale-aware K of the Table II
+protocol (edge + node views only at stand-in scale — two propagated
+hops over-smooth a ~100-node pair); the margin is tracked per run in
+``BENCH_fidelity.json``.
 """
 
 from __future__ import annotations

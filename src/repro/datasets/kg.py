@@ -69,6 +69,18 @@ class KnowledgeGraph:
         graph = AttributedGraph.from_edges(self.n_entities, edges, name=self.name)
         return graph.with_features(self.features)
 
+    def top_relations(self, n: int) -> list[int]:
+        """Relation ids ranked by triple count (ties broken by id).
+
+        Deterministic, so the relation-aware structure bases of
+        :func:`repro.core.views.build_relation_bases` pick the same
+        views on every run.  Returns at most ``n`` ids; relations with
+        zero triples are never included.  Pair callers should rank
+        once across both graphs with :func:`rank_relations` instead —
+        per-side rankings can pick different relation types.
+        """
+        return rank_relations((self,), n)
+
     def relation_adjacency(self, relation: int) -> sp.csr_array:
         """Undirected adjacency restricted to one relation type."""
         if not 0 <= relation < max(self.n_relations, 1):
@@ -83,6 +95,31 @@ class KnowledgeGraph:
         out = sp.csr_array(mat)
         out.data = np.minimum(out.data, 1.0)
         return out
+
+
+def rank_relations(kgs, n: int) -> list[int]:
+    """Relation ids ranked by combined triple count over ``kgs``.
+
+    The single source of the rank-by-count-tie-by-id ordering used by
+    both per-KG ranking (:meth:`KnowledgeGraph.top_relations`) and
+    pair-shared ranking (a pair's two graphs share the relation
+    vocabulary — the ontology is language-independent — so the views
+    must be built from one ranking, not one per side).  Deterministic;
+    returns at most ``n`` ids, never ids with zero combined triples.
+    """
+    if n < 0:
+        raise DatasetError(f"n must be non-negative, got {n}")
+    kgs = tuple(kgs)
+    if not kgs:
+        raise DatasetError("rank_relations needs at least one knowledge graph")
+    width = max(max(kg.n_relations for kg in kgs), 1)
+    counts = np.zeros(width, dtype=np.int64)
+    for kg in kgs:
+        if kg.triples.size:
+            observed, freq = np.unique(kg.triples[:, 1], return_counts=True)
+            counts[observed] += freq
+    order = np.lexsort((np.arange(width), -counts))
+    return [int(r) for r in order[:n] if counts[r] > 0]
 
 
 def random_knowledge_graph(

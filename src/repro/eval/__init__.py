@@ -15,6 +15,7 @@ from repro.eval.robustness import (
 )
 from repro.eval.reporting import format_table, format_sweep
 from repro.eval.aggregate import AggregateResult, repeat_evaluation, format_aggregates
+from repro.eval.fidelity import fidelity_margin, format_fidelity, record_fidelity
 
 __all__ = [
     "hits_at_k",
@@ -31,4 +32,7 @@ __all__ = [
     "AggregateResult",
     "repeat_evaluation",
     "format_aggregates",
+    "fidelity_margin",
+    "format_fidelity",
+    "record_fidelity",
 ]

@@ -3,6 +3,7 @@
 from repro.experiments.config import (
     ExperimentScale,
     default_aligners,
+    method_seed,
     slotalign_real_world,
     slotalign_semi_synthetic,
 )
@@ -19,6 +20,7 @@ from repro.experiments.runner import run_experiment
 __all__ = [
     "ExperimentScale",
     "default_aligners",
+    "method_seed",
     "slotalign_real_world",
     "slotalign_semi_synthetic",
     "run_fig3",

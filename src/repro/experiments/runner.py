@@ -1,13 +1,16 @@
 """Command-line experiment runner: ``python -m repro.experiments <exp>``.
 
 Prints the paper-style tables/series for any of the reproduced
-artefacts (fig3, fig6, fig7, table2, table3, fig8).
+artefacts (fig3, fig6, fig7, table2, table3, fig8); ``fidelity``
+regenerates both accuracy tables and refreshes the
+SLOTAlign-vs-best-baseline margins in ``BENCH_fidelity.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.eval.fidelity import format_fidelity, record_fidelity
 from repro.eval.reporting import format_sweep, format_table
 from repro.experiments.config import ExperimentScale
 from repro.experiments.fig3_motivation import run_fig3
@@ -18,7 +21,9 @@ from repro.experiments.scalability import run_scalability
 from repro.experiments.table2_realworld import run_table2
 from repro.experiments.table3_dbp15k import run_table3
 
-EXPERIMENTS = ("fig3", "fig6", "fig7", "table2", "table3", "fig8", "scale")
+EXPERIMENTS = (
+    "fig3", "fig6", "fig7", "table2", "table3", "fig8", "scale", "fidelity",
+)
 
 
 def main(argv=None) -> int:
@@ -86,6 +91,20 @@ def run_experiment(name: str, scale: ExperimentScale) -> str:
                 f"(cpu_count={out['cpu_count']})"
             ),
         )
+    if name == "fidelity":
+        table2 = run_table2(scale, with_ablations=False)
+        for dataset, rows in table2.items():
+            record_fidelity(
+                f"table2_{dataset}", rows, fixed=True,
+                dataset_scale=scale.dataset_scale,
+            )
+        table3 = run_table3(scale)
+        for subset, rows in table3.items():
+            record_fidelity(
+                f"table3_{subset}", rows, fixed=True,
+                dataset_scale=scale.dataset_scale,
+            )
+        return format_fidelity()
     if name == "fig8":
         out = run_fig8(scale)
         chunks = []

@@ -14,7 +14,9 @@ Run:  ``python -m repro.experiments scale``
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
+from repro.core import SLOTAlign
 from repro.datasets import make_semi_synthetic_pair
 from repro.eval import hits_at_k
 from repro.experiments.config import ExperimentScale, slotalign_semi_synthetic
@@ -64,10 +66,22 @@ def run_scalability(
         k_parts = n_parts or max(
             2, pair.source.n_nodes // (3 * COMMUNITY)
         )
-        config = slotalign_semi_synthetic(scale).config
+        # the scaling study pins the scale subsystem's own solver
+        # profile (the configuration its bitwise contract and the
+        # four_block section of BENCH_scale.json are measured against)
+        # rather than the accuracy-overhaul semi-synthetic profile:
+        # kernel centring under a *committed* single start is
+        # basin-fragile on this equal-size-block SBM fixture (the
+        # full-fidelity multi-start portfolio recovers it, but would
+        # break the fast profile's GW runtime parity), and the curve's
+        # job is runtime comparability across PRs, not Table/Fig
+        # accuracy — the accuracy benchmarks exercise the overhauled
+        # profiles
+        base = slotalign_semi_synthetic(scale).config
+        config = replace(base, tie_weights=False, center_kernels=False)
 
         t0 = time.perf_counter()
-        whole = slotalign_semi_synthetic(scale).fit(pair.source, pair.target)
+        whole = SLOTAlign(config).fit(pair.source, pair.target)
         whole_seconds = time.perf_counter() - t0
         whole_hit = hits_at_k(whole.plan, pair.ground_truth, 1)
 

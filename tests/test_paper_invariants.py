@@ -1,0 +1,277 @@
+"""Tier-1 paper-ordering invariants on small deterministic fixtures.
+
+The benchmark suite asserts the full Table II/III and Fig. 7/8 claims
+at bench scale but takes minutes; these tests pin the same *orderings*
+on the smallest fixtures that still express them, so an accuracy
+regression in the joint structure learning stack surfaces in seconds:
+
+* FR-EN tracks ZH-EN (cross-lingual agreement ordering, Table III);
+* Douban's location features are weak while ACM-DBLP's venue counts
+  are strong (KNN ordering, Table II);
+* under feature truncation, structure-weight learning keeps SLOTAlign
+  at least at feature-blind GWD's level (Fig. 7, the degenerate
+  β-update fix);
+* the degenerate-view guards themselves (tied weights stay tied,
+  centring kills constant kernels, cosine hops have unit diagonal).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GWDAligner, KNNAligner
+from repro.core import SLOTAlign, SLOTAlignConfig
+from repro.core.views import (
+    build_relation_bases,
+    build_structure_bases,
+    center_kernel,
+)
+from repro.datasets import (
+    load_acm_dblp,
+    load_cora,
+    load_dbp15k,
+    load_douban,
+    make_semi_synthetic_pair,
+)
+from repro.datasets.pairs import truncate_feature_columns
+from repro.datasets.kg import random_knowledge_graph, rank_relations
+from repro.eval import hits_at_k
+from repro.experiments.config import ExperimentScale, method_seed
+from repro.experiments.table3_dbp15k import table3_slotalign
+
+
+def tiny_scale(**overrides) -> ExperimentScale:
+    params = dict(dataset_scale=0.015, fast=True, seed=0)
+    params.update(overrides)
+    return ExperimentScale(**params)
+
+
+class TestTable3Ordering:
+    @pytest.fixture(scope="class")
+    def subset_hit1(self):
+        scale = tiny_scale()
+
+        def run(subset):
+            pair = load_dbp15k(subset, scale=scale.dataset_scale, seed=31)
+            aligner = table3_slotalign(scale, pair)
+            aligner.aligner.config.max_outer_iter = 40
+            out = aligner.fit(pair.source, pair.target)
+            return hits_at_k(out.plan, pair.ground_truth, 1)
+
+        return {subset: run(subset) for subset in ("zh_en", "fr_en")}
+
+    def test_fr_en_tracks_zh_en(self, subset_hit1):
+        """Cross-lingual agreement ordering: FR-EN ≥ ZH-EN − 5."""
+        assert subset_hit1["fr_en"] >= subset_hit1["zh_en"] - 5.0
+
+    def test_kg_protocol_is_accurate_at_tiny_scale(self, subset_hit1):
+        """The recovered KG protocol aligns most entities even tiny."""
+        assert min(subset_hit1.values()) > 50.0
+
+
+class TestTable2KNNOrdering:
+    def test_douban_knn_below_acmdblp_knn(self):
+        """Coarse location one-hots vs informative venue counts."""
+        douban = load_douban(scale=0.09, seed=23)
+        acmdblp = load_acm_dblp(scale=0.03, seed=29)
+        knn = KNNAligner()
+        hit_douban = hits_at_k(
+            knn.fit(douban.source, douban.target).plan, douban.ground_truth, 1
+        )
+        hit_acmdblp = hits_at_k(
+            knn.fit(acmdblp.source, acmdblp.target).plan,
+            acmdblp.ground_truth,
+            1,
+        )
+        assert hit_douban < hit_acmdblp
+
+
+class TestTruncationOrdering:
+    def test_slotalign_not_below_gwd_under_truncation(self):
+        """Fig. 7 truncation: the committed node-view start must shed a
+        truncated-empty feature view instead of riding it below pure
+        GWD (the degenerate β-update fix: tied weights + centring)."""
+        cora = truncate_feature_columns(load_cora(scale=0.03), 100)
+        pair = make_semi_synthetic_pair(
+            cora,
+            edge_noise=0.25,
+            feature_transform="truncation",
+            feature_noise=0.4,
+            seed=0,
+        )
+        slot_cfg = SLOTAlignConfig(
+            n_bases=2,
+            structure_lr=0.1,
+            sinkhorn_lr=0.01,
+            max_outer_iter=60,
+            sinkhorn_iter=30,
+            multi_start=False,
+            single_start_view="node",
+            track_history=False,
+            tie_weights=True,
+            center_kernels=True,
+        )
+        slot = SLOTAlign(slot_cfg).fit(pair.source, pair.target)
+        gwd = GWDAligner(max_iter=60).fit(pair.source, pair.target)
+        slot_hit = hits_at_k(slot.plan, pair.ground_truth, 1)
+        gwd_hit = hits_at_k(gwd.plan, pair.ground_truth, 1)
+        assert slot_hit >= gwd_hit
+
+
+class TestDegenerateViewGuards:
+    def test_tied_weights_stay_tied(self):
+        rng = np.random.default_rng(0)
+        from repro.graphs import erdos_renyi_graph
+
+        gs = erdos_renyi_graph(20, 0.3, seed=1).with_features(rng.random((20, 6)))
+        gt = erdos_renyi_graph(20, 0.3, seed=2).with_features(rng.random((20, 6)))
+        cfg = SLOTAlignConfig(
+            n_bases=3,
+            tie_weights=True,
+            max_outer_iter=25,
+            sinkhorn_iter=30,
+            track_history=False,
+        )
+        out = SLOTAlign(cfg).fit(gs, gt)
+        np.testing.assert_array_equal(
+            out.extras["beta_source"], out.extras["beta_target"]
+        )
+
+    def test_center_kernel_kills_constant_component(self):
+        n = 8
+        constant = np.full((n, n), 3.7)
+        np.testing.assert_allclose(center_kernel(constant), 0.0, atol=1e-12)
+        rng = np.random.default_rng(3)
+        kernel = rng.random((n, n))
+        kernel = kernel + kernel.T
+        centred = center_kernel(kernel)
+        np.testing.assert_allclose(centred.sum(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(centred.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_center_kernel_is_permutation_equivariant(self):
+        rng = np.random.default_rng(4)
+        kernel = rng.random((9, 9))
+        kernel = kernel + kernel.T
+        perm = rng.permutation(9)
+        direct = center_kernel(kernel[np.ix_(perm, perm)])
+        indirect = center_kernel(kernel)[np.ix_(perm, perm)]
+        np.testing.assert_allclose(direct, indirect, atol=1e-12)
+
+    def test_renormalized_hops_are_cosine_kernels(self):
+        """With per-hop renormalisation every subgraph view is a cosine
+        kernel: unit diagonal before the Frobenius scaling."""
+        rng = np.random.default_rng(5)
+        from repro.graphs import erdos_renyi_graph
+
+        g = erdos_renyi_graph(15, 0.3, seed=6).with_features(rng.random((15, 5)))
+        bases = build_structure_bases(
+            g, 4, normalize=False, renormalize_hops=True, hop_mix=0.5
+        )
+        for hop_basis in bases[2:]:
+            np.testing.assert_allclose(np.diag(hop_basis), 1.0, atol=1e-9)
+
+    def test_degenerate_view_does_not_capture_weights(self):
+        """Information-free constant features build a constant node
+        kernel.  Uncentred, that kernel's GW cross term is maximal
+        under any coupling, so the β-update rides it and the plan stays
+        uninformative; centring removes the constant component and the
+        solver aligns on structure — the degenerate β-update
+        regression."""
+        from repro.graphs.generators import powerlaw_cluster_graph
+
+        graph = powerlaw_cluster_graph(40, 3, 0.3, seed=7).with_features(
+            np.ones((40, 5))
+        )
+        pair = make_semi_synthetic_pair(graph, edge_noise=0.02, seed=9)
+        common = dict(
+            n_bases=2,
+            tie_weights=True,
+            max_outer_iter=60,
+            sinkhorn_iter=40,
+            multi_start=False,
+            track_history=False,
+        )
+        degenerate = SLOTAlign(
+            SLOTAlignConfig(center_kernels=False, **common)
+        ).fit(pair.source, pair.target)
+        fixed = SLOTAlign(
+            SLOTAlignConfig(center_kernels=True, **common)
+        ).fit(pair.source, pair.target)
+        hit_degenerate = hits_at_k(degenerate.plan, pair.ground_truth, 1)
+        hit_fixed = hits_at_k(fixed.plan, pair.ground_truth, 1)
+        # the uncentred constant kernel captures the weights wholesale
+        assert degenerate.extras["beta_source"][1] > 0.9
+        # centred, the constant view is inert and structure dominates
+        assert hit_fixed > 60.0
+        assert hit_fixed > hit_degenerate + 30.0
+
+
+class TestRelationBases:
+    def test_relation_bases_rank_by_frequency(self):
+        kg = random_knowledge_graph(25, 4, 120, seed=10)
+        bases = build_relation_bases(kg, 2, normalize=False)
+        counts = np.bincount(kg.triples[:, 1], minlength=4)
+        order = np.lexsort((np.arange(4), -counts))
+        expected = kg.relation_adjacency(int(order[0])).toarray()
+        np.testing.assert_array_equal(bases[0], expected)
+
+    def test_relation_bases_pad_with_inert_kernel(self):
+        """Missing relations pad with the centred identity, never with
+        the zero matrix (a zero basis is an energy sink for the
+        β-update)."""
+        kg = random_knowledge_graph(10, 2, 30, seed=11)
+        bases = build_relation_bases(kg, 4, normalize=False)
+        assert len(bases) == 4
+        inert = np.eye(10) - np.full((10, 10), 0.1)
+        np.testing.assert_allclose(bases[-1], inert, atol=1e-12)
+        assert np.linalg.norm(bases[-1]) > 0
+
+    def test_shared_ranking_is_combined_counts(self):
+        """Pair callers rank relation ids on the combined counts of
+        both KGs — per-side rankings can disagree (each side is its
+        own sample), which would make the two relation views compare
+        different relation types."""
+        kg1 = random_knowledge_graph(20, 4, 60, seed=12)
+        kg2 = random_knowledge_graph(20, 4, 60, seed=13)
+        shared = rank_relations((kg1, kg2), 4)
+        counts = np.bincount(kg1.triples[:, 1], minlength=4) + np.bincount(
+            kg2.triples[:, 1], minlength=4
+        )
+        expected = [
+            int(r)
+            for r in np.lexsort((np.arange(4), -counts))
+            if counts[r] > 0
+        ][:4]
+        assert shared == expected
+        # explicit ids make both sides build the same relation's view
+        bases1 = build_relation_bases(kg1, 1, relation_ids=shared)
+        bases2 = build_relation_bases(kg2, 1, relation_ids=shared)
+        assert len(bases1) == len(bases2) == 1
+
+    def test_dbp15k_relations_align_across_languages(self):
+        """Shared ontology prototypes: a shared entity pair present in
+        both KGs carries the same relation type."""
+        pair = load_dbp15k("fr_en", scale=0.015, seed=31)
+        kg_s = pair.metadata["kg_source"]
+        kg_t = pair.metadata["kg_target"]
+        n_shared = pair.metadata["n_shared"]
+
+        def shared_pair_relations(kg):
+            rels = {}
+            for h, r, t in kg.triples:
+                if h < n_shared and t < n_shared:
+                    rels[(min(h, t), max(h, t))] = r
+            return rels
+
+        rel_s = shared_pair_relations(kg_s)
+        rel_t = shared_pair_relations(kg_t)
+        common = set(rel_s) & set(rel_t)
+        assert len(common) >= 10
+        agree = sum(rel_s[pair_key] == rel_t[pair_key] for pair_key in common)
+        assert agree / len(common) > 0.9
+
+
+class TestMethodSeeds:
+    def test_stable_and_distinct(self):
+        assert method_seed(0, "GCNAlign") == method_seed(0, "GCNAlign")
+        assert method_seed(0, "GCNAlign") != method_seed(0, "WAlign")
+        assert method_seed(0, "GCNAlign") != method_seed(1, "GCNAlign")
