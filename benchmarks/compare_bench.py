@@ -1,0 +1,142 @@
+"""Bench-regression gate: compare fresh BENCH_*.json against baselines.
+
+CI copies the *committed* ``BENCH_solver.json`` / ``BENCH_fidelity.json``
+aside before the benchmark jobs overwrite them, then runs::
+
+    python benchmarks/compare_bench.py <baseline_dir>
+
+The gate fails (exit 1) when
+
+* the solver microbench slowed down by more than ``--max-slowdown``
+  (default 20 %) against the committed ``fit_seconds``, or
+* any SLOTAlign-vs-best-baseline Hit@1 margin in the fresh
+  ``BENCH_fidelity.json`` went negative (an accuracy regression, which
+  no runner-speed excuse can explain away).
+
+A missing *baseline* file is reported and skipped (first run on a
+branch that introduces the artefact); a missing *fresh* file fails —
+it means the benchmark that should have produced it did not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def check_solver(baseline_dir: Path, current_dir: Path, max_slowdown: float):
+    """Yield failure messages for the solver microbench comparison."""
+    fresh = load(current_dir / "BENCH_solver.json")
+    if fresh is None:
+        yield "BENCH_solver.json missing from the current run"
+        return
+    baseline = load(baseline_dir / "BENCH_solver.json")
+    if baseline is None:
+        print("note: no baseline BENCH_solver.json; skipping solver gate")
+        return
+    base_fit = baseline.get("fit_seconds")
+    fresh_fit = fresh.get("fit_seconds")
+    if base_fit is None or fresh_fit is None:
+        print("note: fit_seconds absent on one side; skipping solver gate")
+        return
+    # normalise by the per-run machine reference when both sides carry
+    # one: the committed baseline comes from a different box than the
+    # CI runner, and raw wall-clock would gate hardware speed, not code
+    base_ref = baseline.get("reference_seconds")
+    fresh_ref = fresh.get("reference_seconds")
+    if base_ref and fresh_ref:
+        base_value = base_fit / base_ref
+        fresh_value = fresh_fit / fresh_ref
+        unit = "x reference workload"
+        print(
+            f"machine calibration: baseline ref {base_ref:.4f}s, "
+            f"fresh ref {fresh_ref:.4f}s"
+        )
+    else:
+        base_value, fresh_value, unit = base_fit, fresh_fit, "s (uncalibrated)"
+        print("note: no reference_seconds on one side; comparing raw seconds")
+    allowed = base_value * (1.0 + max_slowdown)
+    print(
+        f"solver fit: baseline {base_value:.3f}{unit}, "
+        f"fresh {fresh_value:.3f}{unit} (allowed <= {allowed:.3f})"
+    )
+    if fresh_value > allowed:
+        yield (
+            f"solver microbench regressed: {fresh_value:.3f}{unit} vs "
+            f"committed {base_value:.3f}{unit} (> {max_slowdown:.0%} slowdown)"
+        )
+    backends = fresh.get("backend_fit_seconds", {})
+    serial = backends.get("fused-dense")
+    batched = backends.get("batched-restart")
+    if serial is not None and batched is not None:
+        ratio = serial / batched if batched else float("inf")
+        print(f"batched-restart speedup over fused-dense: {ratio:.2f}x")
+        if batched > serial:
+            # informational: timing on shared runners is noisy, and the
+            # backends are bitwise-equal, so this is not a correctness gate
+            print("warning: batched-restart slower than fused-dense this run")
+
+
+def check_fidelity(current_dir: Path):
+    """Yield failure messages for negative accuracy margins."""
+    fresh = load(current_dir / "BENCH_fidelity.json")
+    if fresh is None:
+        yield "BENCH_fidelity.json missing from the current run"
+        return
+    tables = fresh.get("tables", {})
+    if not tables:
+        yield "BENCH_fidelity.json contains no tables"
+        return
+    for name, entry in sorted(tables.items()):
+        margin = entry.get("margin")
+        if margin is None:
+            print(f"fidelity margin {name}: (absent; skipped)")
+            continue
+        print(f"fidelity margin {name}: {margin:+.2f}")
+        if margin < 0.0:
+            yield (
+                f"fidelity regression: {name} margin {margin:.2f} < 0 "
+                f"(SLOTAlign {entry.get('slotalign')} vs "
+                f"{entry.get('best_baseline_name')} {entry.get('best_baseline')})"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "baseline_dir", type=Path,
+        help="directory holding the committed BENCH_*.json copies",
+    )
+    parser.add_argument(
+        "--current-dir", type=Path, default=REPO_ROOT,
+        help="directory holding the freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=0.20,
+        help="allowed fractional fit_seconds slowdown (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    failures = [
+        *check_solver(args.baseline_dir, args.current_dir, args.max_slowdown),
+        *check_fidelity(args.current_dir),
+    ]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from repro.core import (
     AlignmentResult,
     slotalign,
 )
+from repro.engine import AlignmentEngine, available_backends
 from repro.graphs import AttributedGraph
 from repro.datasets import (
     AlignmentPair,
@@ -39,6 +40,8 @@ __all__ = [
     "SLOTAlignConfig",
     "AlignmentResult",
     "slotalign",
+    "AlignmentEngine",
+    "available_backends",
     "AttributedGraph",
     "AlignmentPair",
     "make_semi_synthetic_pair",

@@ -8,15 +8,22 @@ Commands
     Print structural statistics of a stand-in graph.
 ``align``
     Build a semi-synthetic pair from a stand-in, run an aligner, print
-    Hit@k.
+    Hit@k.  ``--backend`` selects the engine solver backend for the
+    SLOTAlign-based methods.
+``engine``
+    Drive the plan → solve → evaluate pipeline explicitly: pick any
+    registered solver backend (``--backend``), inspect the registry
+    (``--list-backends``) and see per-stage wall-clock.
 ``experiments``
     Alias for ``python -m repro.experiments`` (see that module).
+
+Unknown ``--method``/``--backend`` values fail with a message naming
+the valid choices (never a bare ``KeyError``).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.baselines import (
     FusedGWAligner,
@@ -31,7 +38,15 @@ from repro.datasets import (
     make_semi_synthetic_pair,
     truncate_feature_columns,
 )
+from repro.engine import (
+    DEFAULT_BACKEND,
+    AlignmentEngine,
+    available_backends,
+    backend_kind,
+    ensure_dense_backend,
+)
 from repro.eval import evaluate_plan
+from repro.exceptions import ConfigError
 from repro.graphs import structural_summary
 from repro.scale import DivideAndConquerAligner
 
@@ -58,19 +73,117 @@ def _slot_config(args) -> SLOTAlignConfig:
 
 
 ALIGNER_FACTORIES = {
-    "slotalign": lambda args: SLOTAlign(_slot_config(args)),
+    "slotalign": lambda args: SLOTAlign(
+        _slot_config(args),
+        backend=_resolve_backend(args.backend, dense_only=True),
+    ),
     "partitioned": lambda args: DivideAndConquerAligner(
         _slot_config(args),
         max_block_size=args.max_block_size,
         n_parts=args.n_parts,
         executor=args.executor,
         boundary_repair=not args.no_boundary_repair,
+        solver_backend=_resolve_backend(args.backend, dense_only=True),
     ),
     "knn": lambda args: KNNAligner(),
     "gwd": lambda args: GWDAligner(max_iter=args.iters),
     "fusedgw": lambda args: FusedGWAligner(max_iter=args.iters),
     "regal": lambda args: REGALAligner(seed=args.seed),
 }
+
+
+def _resolve_method(name: str):
+    """The aligner factory for ``name``, or a choice-naming exit."""
+    factory = ALIGNER_FACTORIES.get(name)
+    if factory is None:
+        choices = ", ".join(sorted(ALIGNER_FACTORIES))
+        raise SystemExit(
+            f"unknown method {name!r}; valid methods: {choices}"
+        )
+    return factory
+
+
+def _resolve_backend(name: str, dense_only: bool = False) -> str:
+    """Validate a solver-backend name against the engine registry.
+
+    ``dense_only`` additionally rejects backends that return sparse
+    results (the SLOTAlign-shaped methods consume dense plans; the
+    sparse pipeline is reachable via ``--method partitioned`` or
+    ``engine --backend sparse``).  Validation goes through
+    ``backend_kind`` so no backend instance is constructed.
+    """
+    try:
+        if dense_only:
+            ensure_dense_backend(name, "this method")
+        else:
+            backend_kind(name)
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from exc
+    return name
+
+
+def _add_pair_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``align`` and ``engine``: pair construction."""
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--edge-noise", type=float, default=0.0)
+    parser.add_argument(
+        "--feature-transform",
+        choices=("permutation", "truncation", "compression"),
+        default=None,
+    )
+    parser.add_argument("--feature-noise", type=float, default=0.0)
+    parser.add_argument("--truncate-columns", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_solver_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``align`` and ``engine``: the solver config."""
+    parser.add_argument("--n-bases", type=int, default=2)
+    parser.add_argument("--tau", type=float, default=0.1)
+    parser.add_argument("--eta", type=float, default=0.01)
+    parser.add_argument("--iters", type=int, default=150)
+    # multi-view base construction (PR 4 degenerate-view fixes)
+    parser.add_argument(
+        "--tie-weights", action="store_true",
+        help="share one structure-weight vector across both graphs",
+    )
+    parser.add_argument(
+        "--center-kernels", action="store_true",
+        help="double-centre feature-kernel views (degenerate-view fix)",
+    )
+    parser.add_argument(
+        "--cosine-hops", action="store_true",
+        help="row-normalise propagated features per subgraph hop",
+    )
+    parser.add_argument(
+        "--hop-mix", type=float, default=1.0,
+        help="lazy-walk mixing coefficient for subgraph hops (with "
+        "--cosine-hops); 1.0 is plain propagation",
+    )
+    parser.add_argument(
+        "--similarity-init", action="store_true",
+        help="initialise the plan from cross-graph feature similarity "
+        "(Sec. V-C; disables annealing)",
+    )
+    parser.add_argument(
+        "--backend", default=DEFAULT_BACKEND,
+        help="engine solver backend (see `repro engine --list-backends`)",
+    )
+    # partitioned-pipeline knobs (method "partitioned" / backend "sparse")
+    parser.add_argument(
+        "--n-parts", type=int, default=None,
+        help="direct k-way partition count (default: size-driven bisection)",
+    )
+    parser.add_argument("--max-block-size", type=int, default=400)
+    parser.add_argument(
+        "--executor", choices=("serial", "thread", "process", "auto"),
+        default="auto",
+        help="block execution backend (results are bitwise-identical)",
+    )
+    parser.add_argument(
+        "--no-boundary-repair", action="store_true",
+        help="disable the anchor-based boundary-repair pass",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,61 +201,104 @@ def build_parser() -> argparse.ArgumentParser:
     align = sub.add_parser("align", help="align a semi-synthetic pair")
     align.add_argument("dataset")
     align.add_argument(
-        "--method", choices=sorted(ALIGNER_FACTORIES), default="slotalign"
+        "--method", default="slotalign",
+        help=f"one of: {', '.join(sorted(ALIGNER_FACTORIES))}",
     )
-    align.add_argument("--scale", type=float, default=0.05)
-    align.add_argument("--edge-noise", type=float, default=0.0)
-    align.add_argument(
-        "--feature-transform",
-        choices=("permutation", "truncation", "compression"),
-        default=None,
+    _add_pair_options(align)
+    _add_solver_options(align)
+
+    engine = sub.add_parser(
+        "engine",
+        help="run the plan→solve→evaluate pipeline with an explicit backend",
     )
-    align.add_argument("--feature-noise", type=float, default=0.0)
-    align.add_argument("--truncate-columns", type=int, default=0)
-    align.add_argument("--seed", type=int, default=0)
-    align.add_argument("--n-bases", type=int, default=2)
-    align.add_argument("--tau", type=float, default=0.1)
-    align.add_argument("--eta", type=float, default=0.01)
-    align.add_argument("--iters", type=int, default=150)
-    # multi-view base construction (PR 4 degenerate-view fixes)
-    align.add_argument(
-        "--tie-weights", action="store_true",
-        help="share one structure-weight vector across both graphs",
+    engine.add_argument(
+        "dataset", nargs="?",
+        help="dataset stand-in (omit with --list-backends)",
     )
-    align.add_argument(
-        "--center-kernels", action="store_true",
-        help="double-centre feature-kernel views (degenerate-view fix)",
+    engine.add_argument(
+        "--list-backends", action="store_true",
+        help="list the registered solver backends and exit",
     )
-    align.add_argument(
-        "--cosine-hops", action="store_true",
-        help="row-normalise propagated features per subgraph hop",
-    )
-    align.add_argument(
-        "--hop-mix", type=float, default=1.0,
-        help="lazy-walk mixing coefficient for subgraph hops (with "
-        "--cosine-hops); 1.0 is plain propagation",
-    )
-    align.add_argument(
-        "--similarity-init", action="store_true",
-        help="initialise the plan from cross-graph feature similarity "
-        "(Sec. V-C; disables annealing)",
-    )
-    # partitioned-pipeline knobs (method "partitioned")
-    align.add_argument(
-        "--n-parts", type=int, default=None,
-        help="direct k-way partition count (default: size-driven bisection)",
-    )
-    align.add_argument("--max-block-size", type=int, default=400)
-    align.add_argument(
-        "--executor", choices=("serial", "thread", "process", "auto"),
-        default="auto",
-        help="block execution backend (results are bitwise-identical)",
-    )
-    align.add_argument(
-        "--no-boundary-repair", action="store_true",
-        help="disable the anchor-based boundary-repair pass",
-    )
+    _add_pair_options(engine)
+    _add_solver_options(engine)
     return parser
+
+
+def _build_pair(args):
+    graph = load_graph_dataset(args.dataset, scale=args.scale)
+    if args.truncate_columns:
+        graph = truncate_feature_columns(graph, args.truncate_columns)
+    return make_semi_synthetic_pair(
+        graph,
+        edge_noise=args.edge_noise,
+        feature_transform=args.feature_transform,
+        feature_noise=args.feature_noise,
+        seed=args.seed,
+    )
+
+
+_ENGINE_METHODS = ("partitioned", "slotalign")
+"""``align`` methods that consume the ``--backend`` selection."""
+
+
+def _run_align(args) -> int:
+    if args.method not in _ENGINE_METHODS and args.backend != DEFAULT_BACKEND:
+        raise SystemExit(
+            f"--backend only applies to the engine-routed methods "
+            f"({', '.join(_ENGINE_METHODS)}); method {args.method!r} "
+            "ignores it"
+        )
+    pair = _build_pair(args)
+    aligner = _resolve_method(args.method)(args)
+    result = aligner.fit(pair.source, pair.target)
+    print(f"method   {args.method}")
+    print(f"runtime  {result.runtime:.2f}s")
+    if args.method == "partitioned":
+        repair = result.extras.get("repair", {})
+        print(f"parts    {result.extras['n_parts']}")
+        print(f"executor {result.extras['executor']}")
+        print(f"patched  {repair.get('n_patched', 0)}")
+    for key, value in evaluate_plan(
+        result.plan, pair.ground_truth, ks=(1, 5, 10)
+    ).items():
+        print(f"{key:8s} {value:.2f}")
+    return 0
+
+
+def _run_engine(args) -> int:
+    if args.list_backends:
+        for name, description in available_backends().items():
+            print(f"{name:16s} {description}")
+        return 0
+    if args.dataset is None:
+        raise SystemExit("engine: a dataset is required unless --list-backends")
+    backend = _resolve_backend(args.backend)
+    pair = _build_pair(args)
+    backend_options = {}
+    if backend == "sparse":
+        backend_options = {
+            "n_parts": args.n_parts,
+            "max_block_size": args.max_block_size,
+            "executor": args.executor,
+            "boundary_repair": not args.no_boundary_repair,
+        }
+    engine = AlignmentEngine(
+        _slot_config(args), backend=backend, backend_options=backend_options
+    )
+    run = engine.run(
+        pair.source, pair.target, pair.ground_truth, ks=(1, 5, 10)
+    )
+    print(f"backend  {backend}")
+    for stage, seconds in run.stage_seconds.items():
+        print(f"{stage:8s} {seconds:.3f}s")
+    extras = getattr(run.result, "extras", {})
+    if backend == "sparse":
+        print(f"parts    {extras.get('n_parts', 1)}")
+    elif "selected_start" in extras:
+        print(f"start    {extras['selected_start']}")
+    for key, value in run.metrics.items():
+        print(f"{key:8s} {value:.2f}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -158,30 +314,9 @@ def main(argv=None) -> int:
             print(f"{key:18s} {value:.4f}")
         return 0
     if args.command == "align":
-        graph = load_graph_dataset(args.dataset, scale=args.scale)
-        if args.truncate_columns:
-            graph = truncate_feature_columns(graph, args.truncate_columns)
-        pair = make_semi_synthetic_pair(
-            graph,
-            edge_noise=args.edge_noise,
-            feature_transform=args.feature_transform,
-            feature_noise=args.feature_noise,
-            seed=args.seed,
-        )
-        aligner = ALIGNER_FACTORIES[args.method](args)
-        result = aligner.fit(pair.source, pair.target)
-        print(f"method   {args.method}")
-        print(f"runtime  {result.runtime:.2f}s")
-        if args.method == "partitioned":
-            repair = result.extras.get("repair", {})
-            print(f"parts    {result.extras['n_parts']}")
-            print(f"executor {result.extras['executor']}")
-            print(f"patched  {repair.get('n_patched', 0)}")
-        for key, value in evaluate_plan(
-            result.plan, pair.ground_truth, ks=(1, 5, 10)
-        ).items():
-            print(f"{key:8s} {value:.2f}")
-        return 0
+        return _run_align(args)
+    if args.command == "engine":
+        return _run_engine(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -17,7 +17,7 @@ from repro.core.objective import JointObjective
 from repro.core.convergence import IterateHistory
 from repro.core.result import AlignmentResult
 from repro.core.slotalign import SLOTAlign, slotalign, feature_similarity_plan
-from repro.core.scalability import DivideAndConquerAligner, PartitionedAlignment
+from repro.scale.aligner import DivideAndConquerAligner, PartitionedAlignment
 
 __all__ = [
     "SLOTAlignConfig",

@@ -79,7 +79,7 @@ class SLOTAlignConfig:
         multi-start portfolio.  With annealing enabled the (single)
         checkpoint fires this many iterations *after* the annealing
         horizon — mid-annealing objective values cannot rank restarts
-        (see ``SLOTAlign._prune_schedule``); without annealing an
+        (see ``repro.engine.restarts.prune_schedule``); without annealing an
         early generous-margin checkpoint fires here and a tighter one
         at three times it.  ``0`` disables pruning (every restart runs
         its full budget, the pre-portfolio behaviour).  Survivors

@@ -1,21 +1,30 @@
-"""Backward-compatible shim over the :mod:`repro.scale` subsystem.
+"""Deprecated shim: import :mod:`repro.scale` instead.
 
 The divide-and-conquer aligner started life here as a serial sketch;
 it has since grown into a real subsystem (k-way partitioning, parallel
 block execution, anchor-based boundary repair, sparse evaluation) and
-lives in :mod:`repro.scale`.  This module keeps the historical import
-path ``repro.core.scalability`` working — including the private names
-the original tests reached for.
+lives in :mod:`repro.scale`.  This module is a pure re-export kept so
+the historical import path ``repro.core.scalability`` — including the
+private names the original tests reached for — keeps working; new code
+should import from :mod:`repro.scale`.
 """
 
 from __future__ import annotations
 
-from repro.scale.aligner import (
+import warnings
+
+warnings.warn(
+    "repro.core.scalability is deprecated; import from repro.scale instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.scale.aligner import (  # noqa: E402
     DENSE_GUARD_ENTRIES,
     DivideAndConquerAligner,
     PartitionedAlignment,
 )
-from repro.scale.partition import (
+from repro.scale.partition import (  # noqa: E402
     _DENSE_BISECT_CUTOFF,
     assign_target,
     bisect_partition,

@@ -1,7 +1,7 @@
 """SLOTAlign: joint structure learning and optimal transport alignment.
 
-This module implements Algorithm 1 of the paper.  Given two attributed
-graphs it
+This module is the paper-facing entry point for Algorithm 1.  Given
+two attributed graphs it
 
 1. constructs multi-view structure bases per graph (Eq. 6),
 2. alternates a projected-gradient update on the basis weights
@@ -10,213 +10,40 @@ graphs it
 3. stops when both iterates move less than the tolerances, and
 4. exposes the plan through :class:`repro.core.result.AlignmentResult`.
 
-Three practical devices harden the nonconvex optimisation (all
-documented in DESIGN.md and ablatable through the config):
-
-* **η annealing** — the KL-proximal coefficient starts large (smooth,
-  exploratory updates) and decays to the paper's η, which breaks the
-  symmetry of the uniform initial coupling on graphs whose informative
-  view is sparse;
-* **multi-start** — the scheme is run from the uniform weight vector
-  and from the edge-/node-view vertices of the simplex, keeping the
-  iterate with the lowest objective value.  All restart ingredients are
-  intra-graph, so Proposition 4's feature-permutation invariance holds
-  for the full procedure;
-* **tied structure weights** (``tie_weights``) — both graphs share one
-  weight vector, updated with the averaged β-gradient.  Independently
-  learned weights can collapse onto *different* views per graph, after
-  which ``tr(D_s π D_t πᵀ)`` compares incomparable mixtures and the
-  alignment silently degrades (the seed-era Table II/III failures);
-* **restart-portfolio scheduling** — instead of running every restart
-  at the full iteration budget, the portfolio is successively halved:
-  at an early checkpoint (and again after the annealing horizon, where
-  the objective ranking has stabilised) clearly dominated restarts are
-  pruned and only the survivors continue to convergence.  Survivors
-  follow their exact unpruned iterate path — pruning never perturbs a
-  trajectory, it only stops hopeless ones early — and all restarts
-  share one :class:`~repro.core.objective.JointObjective`
-  precomputation.
+Since the engine refactor the mechanics live in :mod:`repro.engine`:
+:class:`SLOTAlign` is a thin shim that routes ``fit`` through the
+plan → solve → evaluate pipeline.  The practical solver devices —
+η annealing, the multi-start restart portfolio with successive-halving
+pruning, tied structure weights — are documented on
+:class:`repro.core.config.SLOTAlignConfig` and implemented in
+:mod:`repro.engine.restarts`; the solver *backends* (the reference
+serial ``fused-dense`` loop and the bitwise-identical stacked
+``batched-restart`` portfolio) are registered in
+:mod:`repro.engine.backends` and selectable per aligner.
 """
 
 from __future__ import annotations
-
-import time
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import SLOTAlignConfig
 from repro.core.convergence import IterateHistory
-from repro.core.objective import JointObjective
 from repro.core.result import AlignmentResult
-from repro.core.views import build_structure_bases
-from repro.exceptions import ConvergenceError, GraphError
+from repro.engine.planning import feature_similarity_plan  # noqa: F401  (re-export)
 from repro.graphs.graph import AttributedGraph
-from repro.graphs.normalization import row_normalize
-from repro.ot.simplex import project_concatenated_simplices
-from repro.ot.sinkhorn import sinkhorn_log, sinkhorn_log_kernel_fast
-from repro.utils.timer import Timer
-
-
-@dataclass
-class _RunOutcome:
-    """One restart's final iterates."""
-
-    plan: np.ndarray
-    alpha: np.ndarray
-    objective: float
-    history: IterateHistory
-    label: str
-    pruned: bool = False
-    iterations: int = 0
-
-
-class _RestartRun:
-    """Stepping state of one restart of the alternating scheme.
-
-    The per-iteration body is a faithful transcription of the original
-    single-shot loop: as long as a run is advanced to the full budget,
-    its iterate sequence (and therefore its final plan) is bit-for-bit
-    what the unscheduled solver produced.  ``step_until`` lets the
-    portfolio scheduler advance restarts checkpoint by checkpoint.
-    """
-
-    def __init__(
-        self,
-        objective: JointObjective,
-        config: SLOTAlignConfig,
-        eta_schedule,
-        beta0: np.ndarray,
-        learn_weights: bool,
-        plan0: np.ndarray,
-        mu: np.ndarray,
-        nu: np.ndarray,
-        label: str,
-    ):
-        self.objective = objective
-        self.config = config
-        self.eta_schedule = eta_schedule
-        self.learn_weights = learn_weights
-        self.label = label
-        self.mu = mu
-        self.nu = nu
-        self.k = objective.n_bases
-        self.alpha = np.concatenate([beta0, beta0])
-        self.plan = plan0.copy()
-        self.history = IterateHistory()
-        self.iteration = 0
-        self.pruned = False
-        self.pruned_at: int | None = None
-        self.elapsed = 0.0
-        self.timings = {"alpha_update": 0.0, "pi_update": 0.0, "objective_eval": 0.0}
-
-    # ------------------------------------------------------------------
-    @property
-    def finished(self) -> bool:
-        return (
-            self.history.converged
-            or self.iteration >= self.config.max_outer_iter
-        )
-
-    @property
-    def active(self) -> bool:
-        return not self.pruned and not self.finished
-
-    def step_until(self, target_iteration: int) -> None:
-        """Advance to ``min(target, max_outer_iter)`` or convergence."""
-        target = min(target_iteration, self.config.max_outer_iter)
-        start = time.perf_counter()
-        while self.iteration < target and not self.history.converged:
-            self._step_once()
-        self.elapsed += time.perf_counter() - start
-
-    def current_objective(self) -> float:
-        """Objective at the current iterate (pure read, cache-friendly)."""
-        t0 = time.perf_counter()
-        value = self.objective.value(self.plan, self.alpha[:self.k], self.alpha[self.k:])
-        self.timings["objective_eval"] += time.perf_counter() - t0
-        return value
-
-    def prune(self) -> None:
-        self.pruned = True
-        self.pruned_at = self.iteration
-
-    def outcome(self) -> _RunOutcome:
-        return _RunOutcome(
-            plan=self.plan,
-            alpha=self.alpha,
-            objective=self.current_objective(),
-            history=self.history,
-            label=self.label,
-            pruned=self.pruned,
-            iterations=self.iteration,
-        )
-
-    # ------------------------------------------------------------------
-    def _step_once(self) -> None:
-        """One outer iteration of Algorithm 1 (Eq. 11 then Eq. 12)."""
-        cfg = self.config
-        objective = self.objective
-        k = self.k
-        alpha, plan = self.alpha, self.plan
-
-        t0 = time.perf_counter()
-        new_alpha = alpha
-        if self.learn_weights:
-            for _ in range(cfg.alpha_steps):
-                grad = objective.alpha_gradient(
-                    plan, new_alpha[:k], new_alpha[k:]
-                )
-                if cfg.tie_weights:
-                    # shared weights: both halves take the averaged
-                    # gradient, so beta_s == beta_t is an invariant of
-                    # the iteration (the halves start equal)
-                    mean = 0.5 * (grad[:k] + grad[k:])
-                    grad = np.concatenate([mean, mean])
-                new_alpha = project_concatenated_simplices(
-                    new_alpha - cfg.structure_lr * grad, k
-                )
-        t1 = time.perf_counter()
-        self.timings["alpha_update"] += t1 - t0
-
-        plan_grad = objective.plan_gradient(plan, new_alpha[:k], new_alpha[k:])
-        # KL-proximal step (Eq. 12): minimising
-        # <grad, pi> + eta * KL(pi || pi_k) yields the kernel
-        # pi_k * exp(-grad / eta), projected onto Pi(mu, nu)
-        eta = self.eta_schedule(self.iteration)
-        log_kernel = (
-            np.log(np.maximum(plan, 1e-300)) - plan_grad / eta
-        )
-        sinkhorn_result = sinkhorn_log_kernel_fast(
-            log_kernel,
-            self.mu,
-            self.nu,
-            max_iter=cfg.sinkhorn_iter,
-            tol=cfg.sinkhorn_tol,
-        )
-        new_plan = sinkhorn_result.plan
-        if not np.all(np.isfinite(new_plan)):
-            raise ConvergenceError("SLOTAlign plan became non-finite")
-        t2 = time.perf_counter()
-        self.timings["pi_update"] += t2 - t1
-
-        alpha_delta = float(np.linalg.norm(new_alpha - alpha))
-        plan_delta = float(np.linalg.norm(new_plan - plan))
-        value = (
-            objective.value(new_plan, new_alpha[:k], new_alpha[k:])
-            if cfg.track_history
-            else None
-        )
-        self.timings["objective_eval"] += time.perf_counter() - t2
-        self.history.record(value, alpha_delta, plan_delta)
-        self.alpha, self.plan = new_alpha, new_plan
-        self.iteration += 1
-        if alpha_delta < cfg.alpha_tol and plan_delta < cfg.plan_tol:
-            self.history.converged = True
 
 
 class SLOTAlign:
     """Unsupervised attributed-graph aligner (the paper's contribution).
+
+    Parameters
+    ----------
+    config:
+        Hyperparameters of Algorithm 1.
+    backend:
+        Solver backend name from the engine registry (default
+        ``"fused-dense"``; ``"batched-restart"`` runs the identical
+        portfolio as one stacked-tensor solve).
 
     Example
     -------
@@ -229,13 +56,30 @@ class SLOTAlign:
     (30, 30)
     """
 
-    def __init__(self, config: SLOTAlignConfig | None = None):
+    def __init__(
+        self,
+        config: SLOTAlignConfig | None = None,
+        backend: str | None = None,
+    ):
         self.config = config or SLOTAlignConfig()
+        self.backend = backend or "fused-dense"
         self.history: IterateHistory | None = None
         self.beta_source: np.ndarray | None = None
         self.beta_target: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    def _engine(self):
+        # imported lazily so repro.core and repro.engine can be
+        # imported in either order without a partial-init cycle
+        from repro.engine.backends import ensure_dense_backend
+        from repro.engine.pipeline import AlignmentEngine
+
+        # SLOTAlign's contract is a dense AlignmentResult; the sparse
+        # pipeline has its own front door (DivideAndConquerAligner /
+        # the engine's "sparse" backend)
+        ensure_dense_backend(self.backend, "SLOTAlign")
+        return AlignmentEngine(self.config, backend=self.backend)
+
     def prepare_bases(
         self, source: AttributedGraph, target: AttributedGraph
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
@@ -245,23 +89,11 @@ class SLOTAlign:
         pair repeatedly — trajectory capture, sensitivity sweeps, the
         partitioned pipeline's diagnostics — can pay the basis
         construction once and pass the result to :meth:`fit` via
-        ``bases=``.
+        ``bases=``.  Routed through the engine's content-keyed plan
+        cache, so even independent callers hitting the same pair share
+        the construction.
         """
-        cfg = self.config
-        return (
-            build_structure_bases(
-                source, cfg.n_bases, cfg.include_views, cfg.normalize_bases,
-                center_kernels=cfg.center_kernels,
-                renormalize_hops=cfg.renormalize_hops,
-                hop_mix=cfg.hop_mix,
-            ),
-            build_structure_bases(
-                target, cfg.n_bases, cfg.include_views, cfg.normalize_bases,
-                center_kernels=cfg.center_kernels,
-                renormalize_hops=cfg.renormalize_hops,
-                hop_mix=cfg.hop_mix,
-            ),
-        )
+        return self._engine().plan(source, target).bases
 
     def fit(
         self,
@@ -275,248 +107,13 @@ class SLOTAlign:
         ``bases`` injects the output of :meth:`prepare_bases` so
         repeated solves of the same pair skip the basis construction.
         """
-        cfg = self.config
-        with Timer() as timer:
-            t0 = time.perf_counter()
-            if bases is None:
-                bases = self.prepare_bases(source, target)
-            source_bases, target_bases = bases
-            k = len(source_bases)
-            if len(target_bases) != k:
-                raise GraphError(
-                    "source and target produced different numbers of bases"
-                )
-            objective = JointObjective(
-                source_bases, target_bases, fused=cfg.fused_contractions
-            )
-            basis_seconds = time.perf_counter() - t0
-            n, m = objective.n, objective.m
-            mu = np.full(n, 1.0 / n)
-            nu = np.full(m, 1.0 / m)
-            plan0, informative_init = self._initial_plan(
-                source, target, mu, nu, init_plan
-            )
-
-            uniform_beta = np.full(k, 1.0 / k)
-            first_label, first_beta = "uniform", uniform_beta
-            if cfg.single_start_view != "uniform" and not cfg.multi_start:
-                # committed single start: begin at the requested view's
-                # vertex of the simplex instead of the uniform mixture
-                for label, view_index in self._vertex_views(cfg, k):
-                    if label == cfg.single_start_view:
-                        vertex = np.zeros(k)
-                        vertex[view_index] = 1.0
-                        first_label, first_beta = label, vertex
-                        break
-                else:
-                    raise GraphError(
-                        f"single_start_view {cfg.single_start_view!r} has no "
-                        "matching basis for this graph pair"
-                    )
-            starts: list[tuple[str, np.ndarray, bool]] = [
-                (first_label, first_beta, cfg.learn_weights)
-            ]
-            if cfg.multi_start and not informative_init and k > 1:
-                # vertex restarts for the two first-order views: a
-                # learned run per vertex (explores mixtures from a
-                # committed view) plus a frozen node-view run (the
-                # feature-only fallback when structure is hopeless)
-                for label, view_index in self._vertex_views(cfg, k):
-                    vertex = np.zeros(k)
-                    vertex[view_index] = 1.0
-                    starts.append((label, vertex, cfg.learn_weights))
-                    if label == "node":
-                        starts.append((f"{label}-frozen", vertex, False))
-
-            runs = [
-                _RestartRun(
-                    objective, cfg, self._eta_schedule,
-                    beta0, learn, plan0, mu, nu, label,
-                )
-                for label, beta0, learn in starts
-            ]
-            checkpoints = self._prune_schedule() if len(runs) > 1 else []
-            for checkpoint, margin in checkpoints:
-                for run in runs:
-                    if run.active:
-                        run.step_until(checkpoint)
-                contenders = {
-                    run.label: run.current_objective()
-                    for run in runs
-                    if not run.pruned
-                }
-                leader = min(contenders.values())
-                for run in runs:
-                    if run.active and contenders[run.label] > leader + margin:
-                        run.prune()
-            for run in runs:
-                if run.active:
-                    run.step_until(cfg.max_outer_iter)
-
-            outcomes = [run.outcome() for run in runs]
-            survivors = [out for out in outcomes if not out.pruned]
-            best = min(survivors, key=lambda run: run.objective)
-
-        self.history = best.history
-        self.beta_source = best.alpha[:k].copy()
-        self.beta_target = best.alpha[k:].copy()
-        phase_timings = {
-            "basis_build": basis_seconds,
-            "alpha_update": sum(r.timings["alpha_update"] for r in runs),
-            "pi_update": sum(r.timings["pi_update"] for r in runs),
-            "objective_eval": sum(r.timings["objective_eval"] for r in runs),
-            "per_restart": {run.label: run.elapsed for run in runs},
-        }
-        return AlignmentResult(
-            plan=best.plan,
-            runtime=timer.elapsed,
-            method="SLOTAlign",
-            extras={
-                "beta_source": self.beta_source,
-                "beta_target": self.beta_target,
-                "history": best.history,
-                "n_bases": k,
-                "objective": best.objective,
-                "selected_start": best.label,
-                "start_objectives": {
-                    run.label: run.objective for run in outcomes
-                },
-                "portfolio": {
-                    "checkpoints": [list(cp) for cp in checkpoints],
-                    "pruned": {
-                        run.label: run.iterations
-                        for run in outcomes
-                        if run.pruned
-                    },
-                    "iterations": {
-                        run.label: run.iterations for run in outcomes
-                    },
-                },
-                "phase_timings": phase_timings,
-            },
+        result = self._engine().align(
+            source, target, init_plan=init_plan, bases=bases
         )
-
-    # ------------------------------------------------------------------
-    def _vertex_views(self, cfg: SLOTAlignConfig, k: int):
-        """(label, basis index) of the single-view restarts to try."""
-        index = 0
-        vertices = []
-        if "edge" in cfg.include_views:
-            vertices.append(("edge", index))
-            index += 1
-        if "node" in cfg.include_views and index < k:
-            vertices.append(("node", index))
-        return vertices
-
-    def _eta_schedule(self, iteration: int) -> float:
-        """Annealed KL-proximal coefficient for this outer iteration."""
-        cfg = self.config
-        if not cfg.anneal or cfg.eta_start <= cfg.sinkhorn_lr:
-            return cfg.sinkhorn_lr
-        horizon = max(1, int(cfg.anneal_fraction * cfg.max_outer_iter))
-        if iteration >= horizon:
-            return cfg.sinkhorn_lr
-        decay = (cfg.sinkhorn_lr / cfg.eta_start) ** (1.0 / horizon)
-        return cfg.eta_start * decay**iteration
-
-    def _prune_schedule(self) -> list[tuple[int, float]]:
-        """Successive-halving checkpoints ``(iteration, margin)``.
-
-        Mid-annealing objective values are unusable for ranking: the
-        exploration phase deliberately keeps iterates smooth, so a
-        restart's value can lag arbitrarily while η is large and the
-        ordering routinely inverts as η decays (a frozen-weight run
-        has been observed trailing by 1.2 at iteration 20 and winning
-        outright at full budget).  With annealing enabled the only
-        checkpoint therefore fires ``portfolio_prune_iter`` iterations
-        after the annealing horizon, with the tight refine margin.
-        Without annealing the ranking is meaningful early, so a
-        generous-margin checkpoint fires at ``portfolio_prune_iter``
-        and a tighter one at three times it.
-        """
-        cfg = self.config
-        first = cfg.portfolio_prune_iter
-        if first <= 0 or first >= cfg.max_outer_iter:
-            return []
-        if cfg.anneal and cfg.eta_start > cfg.sinkhorn_lr:
-            horizon = max(1, int(cfg.anneal_fraction * cfg.max_outer_iter))
-            checkpoint = horizon + first
-            if checkpoint < cfg.max_outer_iter:
-                return [(checkpoint, cfg.portfolio_refine_margin)]
-            return []
-        schedule = [(first, cfg.portfolio_prune_margin)]
-        second = 3 * first
-        if first < second < cfg.max_outer_iter:
-            schedule.append((second, cfg.portfolio_refine_margin))
-        return schedule
-
-    # ------------------------------------------------------------------
-    def _initial_plan(
-        self,
-        source: AttributedGraph,
-        target: AttributedGraph,
-        mu: np.ndarray,
-        nu: np.ndarray,
-        init_plan: np.ndarray | None,
-    ) -> tuple[np.ndarray, bool]:
-        """π₁ plus a flag for "informative" (non-uniform) inits.
-
-        Uniform coupling by default; a user-supplied plan or (for the
-        KG setting) the feature-similarity initialisation of Sec. V-C
-        skips the multi-start portfolio.  When the feature spaces are
-        incomparable (different dimensionalities) the similarity init
-        degenerates to the uniform coupling, so the flag stays False
-        and the multi-start portfolio remains enabled.
-        """
-        n, m = mu.shape[0], nu.shape[0]
-        if init_plan is not None:
-            plan = np.asarray(init_plan, dtype=np.float64)
-            if plan.shape != (n, m):
-                raise GraphError(
-                    f"init_plan must have shape {(n, m)}, got {plan.shape}"
-                )
-            if plan.min() < 0 or plan.sum() <= 0:
-                raise GraphError("init_plan must be non-negative with positive mass")
-            return plan / plan.sum(), True
-        if self.config.use_feature_similarity_init:
-            if source.features is None or target.features is None:
-                raise GraphError(
-                    "feature-similarity init requires features on both graphs"
-                )
-            if source.features.shape[1] != target.features.shape[1]:
-                return np.outer(mu, nu), False
-            return (
-                feature_similarity_plan(source.features, target.features, mu, nu),
-                True,
-            )
-        return np.outer(mu, nu), False
-
-
-def feature_similarity_plan(
-    source_features: np.ndarray,
-    target_features: np.ndarray,
-    mu: np.ndarray,
-    nu: np.ndarray,
-) -> np.ndarray:
-    """Feasible plan built from cross-graph cosine similarity.
-
-    The similarity matrix is sharpened in log domain and Sinkhorn-
-    projected onto ``Π(μ, ν)`` so the first π-update starts from a
-    valid coupling (paper Sec. V-C initialisation for DBP15K).
-
-    Falls back to the independent coupling when the feature
-    dimensionalities differ (similarity is then undefined).
-    """
-    xs = np.asarray(source_features, dtype=np.float64)
-    xt = np.asarray(target_features, dtype=np.float64)
-    if xs.shape[1] != xt.shape[1]:
-        return np.outer(mu, nu)
-    sim = row_normalize(xs) @ row_normalize(xt).T
-    log_kernel = sim * 10.0
-    result = sinkhorn_log(
-        cost=None, mu=mu, nu=nu, max_iter=200, tol=1e-10, log_kernel=log_kernel
-    )
-    return result.plan
+        self.history = result.extras["history"]
+        self.beta_source = result.extras["beta_source"]
+        self.beta_target = result.extras["beta_target"]
+        return result
 
 
 def slotalign(

@@ -1,0 +1,62 @@
+"""Unified alignment engine: **plan → solve → evaluate**.
+
+Every alignment in the library decomposes into three explicit stages:
+
+1. **plan** (:mod:`repro.engine.planning`) — multi-view base
+   construction behind a content-keyed cache, the marginals and the
+   initial coupling;
+2. **solve** (:mod:`repro.engine.backends`) — a registry of solver
+   backends: the reference serial ``fused-dense`` portfolio, the
+   bitwise-equal stacked ``batched-restart`` portfolio, and the
+   ``sparse`` divide-and-conquer pipeline;
+3. **evaluate** (:mod:`repro.engine.evaluate`) — one metric adapter
+   for dense and CSR plans.
+
+``SLOTAlign.fit``, ``DivideAndConquerAligner``'s block solves, the
+experiment drivers and the CLI are all thin shims over
+:class:`AlignmentEngine`, so batching/caching/backends land once and
+reach every workload.
+"""
+
+from repro.engine.planning import (
+    PlanCache,
+    PreparedProblem,
+    feature_similarity_plan,
+    graph_digest,
+    prepare_problem,
+    shared_plan_cache,
+    view_spec,
+)
+from repro.engine.backends import (
+    DEFAULT_BACKEND,
+    available_backends,
+    backend_kind,
+    dense_backends,
+    ensure_dense_backend,
+    get_backend,
+    register_backend,
+)
+from repro.engine.evaluate import evaluate_alignment, extract_plan
+from repro.engine.pipeline import AlignmentEngine, EngineRun, align_pair
+
+__all__ = [
+    "AlignmentEngine",
+    "EngineRun",
+    "DEFAULT_BACKEND",
+    "PlanCache",
+    "PreparedProblem",
+    "align_pair",
+    "available_backends",
+    "backend_kind",
+    "dense_backends",
+    "ensure_dense_backend",
+    "evaluate_alignment",
+    "extract_plan",
+    "feature_similarity_plan",
+    "get_backend",
+    "graph_digest",
+    "prepare_problem",
+    "register_backend",
+    "shared_plan_cache",
+    "view_spec",
+]

@@ -1,0 +1,248 @@
+"""Stage 2 of the alignment engine: **solve** — the backend registry.
+
+A solver backend consumes a :class:`~repro.engine.planning.PreparedProblem`
+and returns a result object carrying a plan:
+
+* ``fused-dense`` — the reference serial restart portfolio over the
+  fused contraction engine (:class:`repro.core.objective.JointObjective`);
+  every other backend is defined against its output.
+* ``batched-restart`` — the same portfolio executed in lockstep with
+  the restarts stacked into ``(R, n, m)`` tensors, bit-for-bit equal
+  to the serial loop (see :mod:`repro.engine.batched`).
+* ``sparse`` — the divide-and-conquer pipeline of :mod:`repro.scale`:
+  partition, per-block dense solves (each routed back through this
+  engine), sparse stitching and boundary repair.  Returns a
+  :class:`~repro.scale.aligner.PartitionedAlignment` whose plan is CSR.
+
+Backends register under a name via :func:`register_backend`; unknown
+names fail with an error that lists the valid choices (never a bare
+``KeyError``), so CLI/runner validation can surface the registry
+verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.core.objective import JointObjective
+from repro.engine.planning import PreparedProblem
+from repro.engine.restarts import (
+    RestartRun,
+    build_starts,
+    portfolio_result,
+    prune_schedule,
+    select_best,
+)
+from repro.exceptions import ConfigError
+from repro.utils.timer import Timer
+
+_REGISTRY: dict[str, tuple[type, str]] = {}
+
+DEFAULT_BACKEND = "fused-dense"
+
+
+def register_backend(name: str, backend_cls: type, description: str) -> None:
+    """Register a solver backend class under ``name``.
+
+    Re-registering a name replaces the previous entry (lets tests and
+    downstream code substitute instrumented backends).
+    """
+    _REGISTRY[name] = (backend_cls, description)
+
+
+def available_backends() -> dict[str, str]:
+    """``{name: one-line description}`` of every registered backend."""
+    return {name: entry[1] for name, entry in sorted(_REGISTRY.items())}
+
+
+def _lookup(name: str) -> tuple[type, str]:
+    """Registry entry for ``name``, or a choice-naming ConfigError."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        choices = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"unknown solver backend {name!r}; valid backends: {choices}"
+        )
+    return entry
+
+
+def get_backend(name: str, **options):
+    """Instantiate the backend registered under ``name``.
+
+    Raises :class:`ConfigError` naming the valid choices when the
+    backend is unknown — callers (CLI, experiment runner) surface this
+    message directly instead of a bare ``KeyError``.
+    """
+    backend_cls, _ = _lookup(name)
+    return backend_cls(**options)
+
+
+def backend_kind(name: str) -> str:
+    """``"dense"`` or ``"sparse"``: the plan representation returned.
+
+    Unknown names raise the same choice-naming :class:`ConfigError` as
+    :func:`get_backend`; no backend instance is constructed, so this
+    is the cheap way to validate a name.
+    """
+    return getattr(_lookup(name)[0], "kind", "dense")
+
+
+def dense_backends() -> list[str]:
+    """Names of the registered backends returning dense results."""
+    return [name for name in sorted(_REGISTRY) if backend_kind(name) == "dense"]
+
+
+def ensure_dense_backend(name: str, context: str) -> str:
+    """Validate that ``name`` is a dense backend, for ``context``.
+
+    Callers whose result contract is dense (``SLOTAlign``, per-block
+    solves) cannot consume the sparse pipeline's
+    ``PartitionedAlignment`` — and a sparse block backend would nest a
+    partition pipeline inside every block.  Fails with a message
+    naming the dense choices.
+    """
+    if backend_kind(name) != "dense":
+        choices = ", ".join(dense_backends())
+        raise ConfigError(
+            f"{context} requires a dense solver backend, got {name!r}; "
+            f"dense backends: {choices}"
+        )
+    return name
+
+
+class FusedDenseBackend:
+    """Reference serial restart portfolio (the pre-engine solver).
+
+    The loop is a faithful move of the original ``SLOTAlign.fit``
+    body: restart construction, successive-halving checkpoints and the
+    final full-budget advance are unchanged, so this backend's output
+    is bit-for-bit the historical solver's (pinned by the trajectory
+    golden in ``tests/test_goldens.py``).
+    """
+
+    name = "fused-dense"
+    kind = "dense"
+
+    def solve(self, problem: PreparedProblem):
+        cfg = problem.config
+        with Timer() as timer:
+            source_bases, target_bases = problem.bases
+            k = len(source_bases)
+            objective = JointObjective(
+                source_bases, target_bases, fused=cfg.fused_contractions
+            )
+            mu, nu = problem.marginals()
+            plan0, informative_init = problem.initial_coupling(mu, nu)
+            starts = build_starts(cfg, k, informative_init)
+            runs = [
+                RestartRun(objective, cfg, beta0, learn, plan0, mu, nu, label)
+                for label, beta0, learn in starts
+            ]
+            checkpoints = prune_schedule(cfg) if len(runs) > 1 else []
+            for checkpoint, margin in checkpoints:
+                for run in runs:
+                    if run.active:
+                        run.step_until(checkpoint)
+                contenders = {
+                    run.label: run.current_objective()
+                    for run in runs
+                    if not run.pruned
+                }
+                leader = min(contenders.values())
+                for run in runs:
+                    if run.active and contenders[run.label] > leader + margin:
+                        run.prune()
+            for run in runs:
+                if run.active:
+                    run.step_until(cfg.max_outer_iter)
+
+            outcomes = [run.outcome() for run in runs]
+            best = select_best(outcomes)
+        phase_timings = {
+            "basis_build": problem.basis_seconds,
+            "alpha_update": sum(r.timings["alpha_update"] for r in runs),
+            "pi_update": sum(r.timings["pi_update"] for r in runs),
+            "objective_eval": sum(r.timings["objective_eval"] for r in runs),
+            "per_restart": {run.label: run.elapsed for run in runs},
+        }
+        return portfolio_result(
+            self.name, outcomes, best, k, checkpoints, phase_timings,
+            runtime=timer.elapsed,
+        )
+
+
+class SparsePartitionBackend:
+    """Divide-and-conquer backend over :mod:`repro.scale`.
+
+    Partitions both graphs, solves every block pair with a dense
+    engine backend (``block_backend``), stitches the block plans into
+    a global CSR matrix and runs anchor-based boundary repair.  The
+    whole-pair structure bases are never built — the plan stage's
+    laziness is what makes one engine front both regimes.
+    """
+
+    name = "sparse"
+    kind = "sparse"
+
+    def __init__(
+        self,
+        max_block_size: int = 400,
+        min_block_size: int = 8,
+        n_parts: int | None = None,
+        executor: str = "auto",
+        max_workers: int | None = None,
+        boundary_repair: bool = True,
+        min_agreement: float = 2.0,
+        block_init: str = "auto",
+        block_backend: str = DEFAULT_BACKEND,
+    ):
+        self.options = dict(
+            max_block_size=max_block_size,
+            min_block_size=min_block_size,
+            n_parts=n_parts,
+            executor=executor,
+            max_workers=max_workers,
+            boundary_repair=boundary_repair,
+            min_agreement=min_agreement,
+            block_init=block_init,
+            solver_backend=block_backend,
+        )
+
+    def solve(self, problem: PreparedProblem):
+        # imported lazily: repro.scale pulls in the executor machinery,
+        # which routes block solves back through this engine
+        from repro.scale.aligner import DivideAndConquerAligner
+
+        aligner = DivideAndConquerAligner(problem.config, **self.options)
+        if problem.init_plan is not None:
+            raise ConfigError(
+                "the sparse backend partitions the pair and cannot consume "
+                "a whole-pair init_plan; use a dense backend instead"
+            )
+        return aligner.fit(problem.source, problem.target)
+
+
+def _register_builtin_backends() -> None:
+    # imported here so the registry owns the import-order: batched.py
+    # imports this module for register_backend
+    from repro.engine.batched import BatchedRestartBackend
+
+    register_backend(
+        FusedDenseBackend.name,
+        FusedDenseBackend,
+        "serial restart portfolio over the fused dense contraction engine "
+        "(reference implementation)",
+    )
+    register_backend(
+        BatchedRestartBackend.name,
+        BatchedRestartBackend,
+        "multi-start portfolio as one stacked-tensor lockstep solve, "
+        "bitwise-equal to fused-dense",
+    )
+    register_backend(
+        SparsePartitionBackend.name,
+        SparsePartitionBackend,
+        "divide-and-conquer partition pipeline with sparse stitching and "
+        "boundary repair (CSR plans)",
+    )
+
+
+_register_builtin_backends()

@@ -1,0 +1,53 @@
+"""Stage 3 of the alignment engine: **evaluate**.
+
+One adapter consumes whatever a solver backend produced — a dense
+:class:`~repro.core.result.AlignmentResult`, a CSR-backed
+:class:`~repro.scale.aligner.PartitionedAlignment`, or a bare plan
+matrix — and returns the paper's metric dict.  The sparse path never
+densifies (:mod:`repro.eval.metrics` ranks CSR rows analytically and
+is bit-for-bit equal to the dense computation), so callers stop
+branching on the plan representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def extract_plan(result):
+    """The plan matrix (dense array or scipy CSR) from any result shape."""
+    plan = getattr(result, "plan", result)
+    return plan
+
+
+def evaluate_alignment(
+    result,
+    ground_truth: np.ndarray,
+    ks=(1, 5, 10, 30),
+    with_runtime: bool = False,
+) -> dict[str, float]:
+    """Hit@k for every requested ``k`` plus MRR, dense or sparse.
+
+    Parameters
+    ----------
+    result:
+        An :class:`AlignmentResult`, a :class:`PartitionedAlignment`,
+        or a raw plan (dense array / scipy sparse matrix).
+    ground_truth:
+        ``t × 2`` array of (source, target) anchor pairs.
+    ks:
+        Hit@k cutoffs to report.
+    with_runtime:
+        Also report ``time`` (seconds) when the result carries a
+        runtime, matching the Table II/III row shape.
+    """
+    # lazy import: repro.eval's package init pulls in the sweep runner,
+    # which itself consumes this adapter
+    from repro.eval.metrics import evaluate_plan
+
+    report = evaluate_plan(extract_plan(result), ground_truth, ks=ks)
+    if with_runtime:
+        runtime = getattr(result, "runtime", None)
+        if runtime is not None:
+            report["time"] = float(runtime)
+    return report

@@ -1,0 +1,175 @@
+"""The unified alignment engine: plan → solve → evaluate.
+
+:class:`AlignmentEngine` is the one front door every caller goes
+through — ``SLOTAlign.fit``, the partitioned block solves, the
+experiment drivers and the CLI are all thin shims over it.  Each stage
+is explicit and separately callable:
+
+* :meth:`AlignmentEngine.plan` — base/view construction through the
+  content-keyed :class:`~repro.engine.planning.PlanCache`;
+* :meth:`AlignmentEngine.solve` — dispatch to a registered solver
+  backend (``fused-dense`` / ``batched-restart`` / ``sparse``);
+* :meth:`AlignmentEngine.evaluate` — the representation-agnostic
+  metric adapter.
+
+Batching, caching and new backends therefore land once, here, and
+benefit every workload — the seam the ROADMAP's serving ambitions
+(async jobs, multi-pair throughput) build on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SLOTAlignConfig
+from repro.engine.backends import DEFAULT_BACKEND, get_backend
+from repro.engine.evaluate import evaluate_alignment
+from repro.engine.planning import (
+    PlanCache,
+    PreparedProblem,
+    prepare_problem,
+    shared_plan_cache,
+)
+from repro.graphs.graph import AttributedGraph
+
+_SHARED = object()
+"""Sentinel: "use the process-wide shared plan cache"."""
+
+
+@dataclass
+class EngineRun:
+    """One full pipeline pass: the result plus per-stage diagnostics."""
+
+    result: object
+    metrics: dict[str, float] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class AlignmentEngine:
+    """plan → solve → evaluate pipeline over a solver-backend registry.
+
+    Parameters
+    ----------
+    config:
+        The :class:`SLOTAlignConfig` applied by every stage.
+    backend:
+        Name of the registered solver backend (see
+        :func:`repro.engine.available_backends`); validated lazily at
+        solve time so construction never raises on registry changes.
+    cache:
+        A :class:`PlanCache` for the plan stage.  Defaults to the
+        process-wide shared cache; pass ``None`` to disable caching.
+    backend_options:
+        Keyword arguments forwarded to the backend constructor (e.g.
+        the sparse backend's ``n_parts``/``executor``).
+    """
+
+    def __init__(
+        self,
+        config: SLOTAlignConfig | None = None,
+        backend: str = DEFAULT_BACKEND,
+        cache=_SHARED,
+        backend_options: dict | None = None,
+    ):
+        self.config = config or SLOTAlignConfig()
+        self.backend = backend
+        self.cache: PlanCache | None = (
+            shared_plan_cache() if cache is _SHARED else cache
+        )
+        self.backend_options = dict(backend_options or {})
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        source: AttributedGraph,
+        target: AttributedGraph,
+        init_plan: np.ndarray | None = None,
+        bases=None,
+    ) -> PreparedProblem:
+        """Stage 1: prepare the problem (bases built lazily, cached)."""
+        return prepare_problem(
+            source,
+            target,
+            self.config,
+            init_plan=init_plan,
+            bases=bases,
+            cache=self.cache,
+        )
+
+    def solve(self, problem: PreparedProblem):
+        """Stage 2: run the configured solver backend."""
+        backend = get_backend(self.backend, **self.backend_options)
+        return backend.solve(problem)
+
+    def evaluate(
+        self, result, ground_truth: np.ndarray, ks=(1, 5, 10, 30),
+        with_runtime: bool = False,
+    ) -> dict[str, float]:
+        """Stage 3: metrics from a dense or CSR plan."""
+        return evaluate_alignment(
+            result, ground_truth, ks=ks, with_runtime=with_runtime
+        )
+
+    # ------------------------------------------------------------------
+    def align(
+        self,
+        source: AttributedGraph,
+        target: AttributedGraph,
+        init_plan: np.ndarray | None = None,
+        bases=None,
+    ):
+        """plan + solve in one call (the ``fit``-shaped entry point)."""
+        problem = self.plan(source, target, init_plan=init_plan, bases=bases)
+        return self.solve(problem)
+
+    def run(
+        self,
+        source: AttributedGraph,
+        target: AttributedGraph,
+        ground_truth: np.ndarray | None = None,
+        init_plan: np.ndarray | None = None,
+        ks=(1, 5, 10, 30),
+    ) -> EngineRun:
+        """All three stages with per-stage wall-clock accounting."""
+        t0 = time.perf_counter()
+        problem = self.plan(source, target, init_plan=init_plan)
+        t1 = time.perf_counter()
+        result = self.solve(problem)
+        t2 = time.perf_counter()
+        metrics: dict[str, float] = {}
+        if ground_truth is not None:
+            metrics = self.evaluate(result, ground_truth, ks=ks)
+        t3 = time.perf_counter()
+        return EngineRun(
+            result=result,
+            metrics=metrics,
+            stage_seconds={
+                "plan": (t1 - t0) + problem.basis_seconds,
+                "solve": (t2 - t1) - problem.basis_seconds,
+                "evaluate": t3 - t2,
+            },
+        )
+
+
+def align_pair(
+    config: SLOTAlignConfig,
+    source: AttributedGraph,
+    target: AttributedGraph,
+    backend: str = DEFAULT_BACKEND,
+):
+    """Module-level one-shot engine alignment.
+
+    Top-level (picklable) so process pools can ship it to workers —
+    the partitioned pipeline's block solves route through here.
+
+    Block solves deliberately bypass the shared plan cache: process
+    workers could never see it anyway, so an in-process warm cache
+    would make ``serial`` block timings incomparable to pool timings
+    (the executor-isolation contract of the scalability bench), and a
+    fit's blocks are distinct subgraphs with nothing to share.
+    """
+    engine = AlignmentEngine(config, backend=backend, cache=None)
+    return engine.align(source, target)

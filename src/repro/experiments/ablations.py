@@ -47,29 +47,35 @@ def ablation_aligners(scale: ExperimentScale) -> dict:
     there, and the row records that honestly.
     """
     base = slotalign_real_world(scale).config
+    backend = scale.engine_backend
     return {
         "SLOT-w/o-edge": SLOTAlign(
             replace(
                 base,
                 n_bases=max(1, base.n_bases - 1),
                 include_views=("node", "subgraph"),
-            )
+            ),
+            backend=backend,
         ),
         "SLOT-w/o-node": SLOTAlign(
             replace(
                 base,
                 n_bases=max(1, base.n_bases - 1),
                 include_views=("edge", "subgraph"),
-            )
+            ),
+            backend=backend,
         ),
         "SLOT-w/o-subgraph": SLOTAlign(
             replace(
                 base,
                 n_bases=min(base.n_bases, 2),
                 include_views=("edge", "node"),
-            )
+            ),
+            backend=backend,
         ),
-        "SLOT-fixed-beta": SLOTAlign(replace(base, learn_weights=False)),
+        "SLOT-fixed-beta": SLOTAlign(
+            replace(base, learn_weights=False), backend=backend
+        ),
         "SLOT-param-GNN": ParameterizedGNNSLOTAlign(
             replace(base),
             gnn_epochs=max(10, scale.gnn_epochs // 2),

@@ -54,12 +54,16 @@ class ExperimentScale:
     """Speed/fidelity knobs for an experiment run.
 
     ``dataset_scale`` shrinks the stand-in datasets; ``fast`` trims
-    iteration counts of the slower baselines.
+    iteration counts of the slower baselines.  ``engine_backend``
+    selects the dense solver backend every SLOTAlign variant routes
+    through (``fused-dense`` / ``batched-restart`` — outputs are
+    bitwise-identical, so the choice is purely a wall-clock knob).
     """
 
     dataset_scale: float = 0.07
     fast: bool = True
     seed: int = 0
+    engine_backend: str = "fused-dense"
 
     @property
     def gnn_epochs(self) -> int:
@@ -133,7 +137,7 @@ def slotalign_semi_synthetic(scale: ExperimentScale) -> SLOTAlign:
             max_outer_iter=scale.slot_iters,
             track_history=False,
         )
-    return SLOTAlign(cfg)
+    return SLOTAlign(cfg, backend=scale.engine_backend)
 
 
 def slotalign_real_world(scale: ExperimentScale, **overrides) -> SLOTAlign:
@@ -164,7 +168,9 @@ def slotalign_real_world(scale: ExperimentScale, **overrides) -> SLOTAlign:
         anneal=not use_init,
     )
     params.update(overrides)
-    return SLOTAlign(replace(REAL_WORLD_CONFIG, **params))
+    return SLOTAlign(
+        replace(REAL_WORLD_CONFIG, **params), backend=scale.engine_backend
+    )
 
 
 DEFAULT_METHODS = (

@@ -105,7 +105,10 @@ def run_fig8(
                     cfg_kwargs["sinkhorn_lr"] = value * budget
                 else:
                     cfg_kwargs["n_bases"] = int(value)
-                aligner = SLOTAlign(replace(REAL_WORLD_CONFIG, **cfg_kwargs))
+                aligner = SLOTAlign(
+                    replace(REAL_WORLD_CONFIG, **cfg_kwargs),
+                    backend=scale.engine_backend,
+                )
                 outcome = aligner.fit(pair.source, pair.target)
                 curve.append(
                     (value, hits_at_k(outcome.plan, pair.ground_truth, 1))

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro.engine import ensure_dense_backend
 from repro.eval.fidelity import format_fidelity, record_fidelity
+from repro.exceptions import ConfigError
 from repro.eval.reporting import format_sweep, format_table
 from repro.experiments.config import ExperimentScale
 from repro.experiments.fig3_motivation import run_fig3
@@ -39,9 +41,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="disable fast mode (longer runs)"
     )
+    parser.add_argument(
+        "--backend", default="fused-dense",
+        help="dense engine backend for every SLOTAlign solve "
+        "(fused-dense / batched-restart; outputs are bitwise-identical)",
+    )
     args = parser.parse_args(argv)
+    try:
+        # the experiment drivers run whole-pair dense solves; this also
+        # names the valid choices on unknown names (no bare KeyError)
+        ensure_dense_backend(args.backend, "the experiment runner")
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from exc
     scale = ExperimentScale(
-        dataset_scale=args.scale, fast=not args.full, seed=args.seed
+        dataset_scale=args.scale, fast=not args.full, seed=args.seed,
+        engine_backend=args.backend,
     )
     print(run_experiment(args.experiment, scale))
     return 0

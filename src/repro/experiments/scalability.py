@@ -81,7 +81,9 @@ def run_scalability(
         config = replace(base, tie_weights=False, center_kernels=False)
 
         t0 = time.perf_counter()
-        whole = SLOTAlign(config).fit(pair.source, pair.target)
+        whole = SLOTAlign(config, backend=scale.engine_backend).fit(
+            pair.source, pair.target
+        )
         whole_seconds = time.perf_counter() - t0
         whole_hit = hits_at_k(whole.plan, pair.ground_truth, 1)
 
@@ -89,6 +91,7 @@ def run_scalability(
             aligner = DivideAndConquerAligner(
                 config, n_parts=k_parts, executor=executor,
                 boundary_repair=repair,
+                solver_backend=scale.engine_backend,
             )
             start = time.perf_counter()
             out = aligner.fit(pair.source, pair.target)

@@ -10,6 +10,7 @@ from repro.ot.sinkhorn import (
     sinkhorn,
     sinkhorn_log,
     sinkhorn_log_kernel_fast,
+    sinkhorn_log_kernel_fast_batched,
     sinkhorn_projection,
     transport_cost,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "sinkhorn",
     "sinkhorn_log",
     "sinkhorn_log_kernel_fast",
+    "sinkhorn_log_kernel_fast_batched",
     "sinkhorn_projection",
     "transport_cost",
     "emd",

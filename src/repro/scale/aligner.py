@@ -159,6 +159,10 @@ class DivideAndConquerAligner:
         fit always does (it *is* the whole problem, so
         ``DivideAndConquerAligner`` with one part stays equivalent to
         plain SLOTAlign).
+    solver_backend:
+        Dense engine backend used for every block solve
+        (``"fused-dense"`` or ``"batched-restart"``; block results are
+        bitwise-identical across backends, like the executors).
     """
 
     def __init__(
@@ -172,6 +176,7 @@ class DivideAndConquerAligner:
         boundary_repair: bool = True,
         min_agreement: float = 2.0,
         block_init: str = "auto",
+        solver_backend: str = "fused-dense",
     ):
         if max_block_size < 2 * min_block_size:
             raise GraphError("max_block_size must be at least 2x min_block_size")
@@ -181,6 +186,11 @@ class DivideAndConquerAligner:
             raise GraphError(
                 f"block_init must be 'auto' or 'config', got {block_init!r}"
             )
+        # lazy import: repro.scale must stay importable before
+        # repro.engine finishes initialising (core/__init__ imports us)
+        from repro.engine.backends import ensure_dense_backend
+
+        ensure_dense_backend(solver_backend, "per-block solving")
         self.config = config or SLOTAlignConfig()
         self.max_block_size = max_block_size
         self.min_block_size = min_block_size
@@ -190,6 +200,7 @@ class DivideAndConquerAligner:
         self.boundary_repair = boundary_repair
         self.min_agreement = min_agreement
         self.block_init = block_init
+        self.solver_backend = solver_backend
 
     # ------------------------------------------------------------------
     def fit(
@@ -232,6 +243,7 @@ class DivideAndConquerAligner:
                 blocks,
                 executor=self.executor,
                 max_workers=self.max_workers,
+                solver_backend=self.solver_backend,
             )
             plan = self._stitch(
                 partitions, block_results, source.n_nodes, target.n_nodes
@@ -244,6 +256,7 @@ class DivideAndConquerAligner:
                 "n_parts": len(partitions),
                 "executor": backend_used,
                 "executor_requested": self.executor,
+                "solver_backend": self.solver_backend,
                 "source_cut_fraction": edge_cut_fraction(source, src_assign),
                 "block_feature_init": block_config.use_feature_similarity_init,
             }

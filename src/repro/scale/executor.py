@@ -27,7 +27,6 @@ from concurrent.futures import (
 
 from repro.core.config import SLOTAlignConfig
 from repro.core.result import AlignmentResult
-from repro.core.slotalign import SLOTAlign
 from repro.exceptions import GraphError
 from repro.graphs.graph import AttributedGraph
 
@@ -55,9 +54,18 @@ def align_block(
     config: SLOTAlignConfig,
     source: AttributedGraph,
     target: AttributedGraph,
+    backend: str = "fused-dense",
 ) -> AlignmentResult:
-    """Solve one block pair.  Top-level so process pools can pickle it."""
-    return SLOTAlign(config).fit(source, target)
+    """Solve one block pair through the alignment engine.
+
+    Top-level so process pools can pickle it.  ``backend`` selects the
+    dense solver backend per block (``batched-restart`` amortises each
+    block's restart portfolio into stacked GEMMs; results are
+    bitwise-identical across backends, like the executors).
+    """
+    from repro.engine.pipeline import align_pair
+
+    return align_pair(config, source, target, backend=backend)
 
 
 def resolve_executor(executor: str) -> str:
@@ -76,6 +84,7 @@ def run_blocks(
     blocks: list[tuple[AttributedGraph, AttributedGraph]],
     executor: str = "serial",
     max_workers: int | None = None,
+    solver_backend: str = "fused-dense",
 ) -> tuple[list[AlignmentResult], str]:
     """Align every block pair, preserving input order.
 
@@ -103,7 +112,10 @@ def run_blocks(
                     # at construction
                     try:
                         futures = [
-                            pool.submit(align_block, config, sub_s, sub_t)
+                            pool.submit(
+                                align_block, config, sub_s, sub_t,
+                                solver_backend,
+                            )
                             for sub_s, sub_t in blocks
                         ]
                     except (OSError, PermissionError) as exc:
@@ -123,6 +135,9 @@ def run_blocks(
             except _PoolUnavailable:
                 pass  # fall through to the serial loop
     return (
-        [align_block(config, sub_s, sub_t) for sub_s, sub_t in blocks],
+        [
+            align_block(config, sub_s, sub_t, solver_backend)
+            for sub_s, sub_t in blocks
+        ],
         "serial",
     )

@@ -65,3 +65,78 @@ class TestCommands:
 
         with pytest.raises(DatasetError):
             main(["stats", "imdb"])
+
+
+class TestEngineCommand:
+    def test_list_backends(self, capsys):
+        assert main(["engine", "--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fused-dense", "batched-restart", "sparse"):
+            assert name in out
+
+    def test_engine_requires_dataset_without_list(self):
+        with pytest.raises(SystemExit, match="dataset"):
+            main(["engine"])
+
+    def test_engine_run_prints_stages_and_metrics(self, capsys):
+        code = main(
+            [
+                "engine", "cora",
+                "--scale", "0.02", "--iters", "20",
+                "--backend", "batched-restart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend  batched-restart" in out
+        for stage in ("plan", "solve", "evaluate"):
+            assert stage in out
+        assert "hits@1" in out
+
+    def test_engine_sparse_backend(self, capsys):
+        code = main(
+            [
+                "engine", "cora",
+                "--scale", "0.05", "--iters", "15",
+                "--backend", "sparse", "--n-parts", "2",
+                "--executor", "serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parts    2" in out
+
+    def test_unknown_backend_names_choices(self):
+        with pytest.raises(SystemExit, match="valid backends.*fused-dense"):
+            main(["engine", "cora", "--backend", "tpu"])
+
+    def test_unknown_method_names_choices(self):
+        with pytest.raises(SystemExit, match="valid methods.*slotalign"):
+            main(["align", "cora", "--method", "does-not-exist"])
+
+    def test_align_accepts_backend_flag(self, capsys):
+        code = main(
+            [
+                "align", "cora",
+                "--scale", "0.02", "--iters", "20",
+                "--backend", "batched-restart",
+            ]
+        )
+        assert code == 0
+        assert "hits@1" in capsys.readouterr().out
+
+    def test_sparse_backend_rejected_for_dense_methods(self):
+        with pytest.raises(SystemExit, match="dense"):
+            main(["align", "cora", "--backend", "sparse"])
+        with pytest.raises(SystemExit, match="dense"):
+            main(
+                ["align", "cora", "--method", "partitioned",
+                 "--backend", "sparse"]
+            )
+
+    def test_backend_rejected_for_non_engine_methods(self):
+        with pytest.raises(SystemExit, match="only applies"):
+            main(
+                ["align", "cora", "--method", "knn",
+                 "--backend", "batched-restart"]
+            )

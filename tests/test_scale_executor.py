@@ -149,7 +149,7 @@ class TestExecutorResolution:
         p = pair(seed=1)
         blocks = blocks_of(p)
 
-        def failing_block(config, source, target):
+        def failing_block(config, source, target, backend="fused-dense"):
             raise OSError("block solve exploded")
 
         monkeypatch.setattr(executor_module, "align_block", failing_block)
