@@ -8,7 +8,11 @@ aside before the benchmark jobs overwrite them, then runs::
 The gate fails (exit 1) when
 
 * the solver microbench slowed down by more than ``--max-slowdown``
-  (default 20 %) against the committed ``fit_seconds``, or
+  (default 20 %) against the committed ``fit_seconds``,
+* the serving bench (``BENCH_serve.json``) lost its invariants (zero
+  cache hit rate, no coalescing, a bitwise divergence from the direct
+  engine) or its calibrated pairs/sec regressed past the slowdown
+  budget, or
 * any SLOTAlign-vs-best-baseline Hit@1 margin in the fresh
   ``BENCH_fidelity.json`` went negative (an accuracy regression, which
   no runner-speed excuse can explain away).
@@ -87,6 +91,64 @@ def check_solver(baseline_dir: Path, current_dir: Path, max_slowdown: float):
             print("warning: batched-restart slower than fused-dense this run")
 
 
+def check_serve(baseline_dir: Path, current_dir: Path, max_slowdown: float):
+    """Yield failure messages for the serving-bench comparison.
+
+    The fresh file carries its own correctness invariants (cache hits,
+    coalescing engaged, bitwise fidelity) — those gate unconditionally.
+    Throughput gates only against a committed baseline, normalised by
+    each side's ``reference_seconds`` so machine speed cancels out:
+    ``pairs_per_second × reference_seconds`` is pairs per reference
+    workload, comparable across boxes.
+    """
+    fresh = load(current_dir / "BENCH_serve.json")
+    if fresh is None:
+        yield "BENCH_serve.json missing from the current run"
+        return
+    if fresh.get("cache", {}).get("hit_rate", 0.0) <= 0.0:
+        yield "serve bench: plan-cache hit rate is zero (sharing broken)"
+    if fresh.get("coalesced_batches", 0) <= 0:
+        yield "serve bench: no coalesced batches (coalescing disengaged)"
+    if fresh.get("single_pair_bitwise_equal") is not True:
+        yield (
+            "serve bench: served plan diverged bitwise from the direct "
+            "engine run"
+        )
+    baseline = load(baseline_dir / "BENCH_serve.json")
+    if baseline is None:
+        print("note: no baseline BENCH_serve.json; skipping serve gate")
+        return
+    base_pps = baseline.get("pairs_per_second")
+    fresh_pps = fresh.get("pairs_per_second")
+    if base_pps is None or fresh_pps is None:
+        print("note: pairs_per_second absent on one side; skipping serve gate")
+        return
+    base_ref = baseline.get("reference_seconds")
+    fresh_ref = fresh.get("reference_seconds")
+    if base_ref and fresh_ref:
+        base_value = base_pps * base_ref
+        fresh_value = fresh_pps * fresh_ref
+        unit = " pairs/reference"
+        print(
+            f"machine calibration: baseline ref {base_ref:.4f}s, "
+            f"fresh ref {fresh_ref:.4f}s"
+        )
+    else:
+        base_value, fresh_value = base_pps, fresh_pps
+        unit = " pairs/s (uncalibrated)"
+        print("note: no reference_seconds on one side; comparing raw pairs/s")
+    allowed = base_value / (1.0 + max_slowdown)
+    print(
+        f"serve throughput: baseline {base_value:.3f}{unit}, "
+        f"fresh {fresh_value:.3f}{unit} (allowed >= {allowed:.3f})"
+    )
+    if fresh_value < allowed:
+        yield (
+            f"serve bench regressed: {fresh_value:.3f}{unit} vs committed "
+            f"{base_value:.3f}{unit} (> {max_slowdown:.0%} slowdown)"
+        )
+
+
 def check_fidelity(current_dir: Path):
     """Yield failure messages for negative accuracy margins."""
     fresh = load(current_dir / "BENCH_fidelity.json")
@@ -128,6 +190,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     failures = [
         *check_solver(args.baseline_dir, args.current_dir, args.max_slowdown),
+        *check_serve(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_fidelity(args.current_dir),
     ]
     for failure in failures:

@@ -14,6 +14,11 @@ Commands
     Drive the plan → solve → evaluate pipeline explicitly: pick any
     registered solver backend (``--backend``), inspect the registry
     (``--list-backends``) and see per-stage wall-clock.
+``serve``
+    Run the in-process alignment service against a synthetic traffic
+    burst and print the service-level report: pairs/sec, plan-cache
+    hit rate, p50/p99 latency, coalescing counters and the bitwise
+    fidelity check against a direct engine run.
 ``experiments``
     Alias for ``python -m repro.experiments`` (see that module).
 
@@ -221,6 +226,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pair_options(engine)
     _add_solver_options(engine)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the alignment service with synthetic traffic",
+    )
+    serve.add_argument("dataset")
+    serve.add_argument(
+        "--n-jobs", type=int, default=24,
+        help="total alignment requests in the burst",
+    )
+    serve.add_argument(
+        "--n-distinct", type=int, default=4,
+        help="distinct pairs the requests cycle over (repeats hit the "
+        "plan cache)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker-thread count"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="largest coalesced batch one worker may solve",
+    )
+    serve.add_argument(
+        "--iters", type=int, default=25,
+        help="outer-iteration budget per request",
+    )
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -301,6 +334,27 @@ def _run_engine(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    # lazy import: the serving stack is only needed by this subcommand
+    from repro.experiments.serve_traffic import (
+        format_serve_report,
+        run_serve_traffic,
+    )
+
+    report = run_serve_traffic(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        n_jobs=args.n_jobs,
+        n_distinct=args.n_distinct,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        iters=args.iters,
+    )
+    print(format_serve_report(report))
+    return 0 if report["single_pair_bitwise_equal"] else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -317,6 +371,8 @@ def main(argv=None) -> int:
         return _run_align(args)
     if args.command == "engine":
         return _run_engine(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -36,6 +36,7 @@ from repro.engine.backends import (
     get_backend,
     register_backend,
 )
+from repro.engine.coalesce import coalescible, solve_coalesced
 from repro.engine.evaluate import evaluate_alignment, extract_plan
 from repro.engine.pipeline import AlignmentEngine, EngineRun, align_pair
 
@@ -43,6 +44,8 @@ __all__ = [
     "AlignmentEngine",
     "EngineRun",
     "DEFAULT_BACKEND",
+    "coalescible",
+    "solve_coalesced",
     "PlanCache",
     "PreparedProblem",
     "align_pair",

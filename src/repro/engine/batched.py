@@ -61,15 +61,24 @@ from repro.utils.timer import Timer
 
 
 class _BatchedRun:
-    """One restart's state between lockstep iterations."""
+    """One restart's state between lockstep iterations.
+
+    Each run carries its *own* :class:`JointObjective`: within one
+    pair every restart shares the objective instance, while the
+    coalesced multi-pair solve (:mod:`repro.engine.coalesce`) stacks
+    runs whose objectives belong to different graph pairs.  All
+    lockstep tensor work only ever touches a run's own slice, so the
+    composition of the batch never changes any run's iterates.
+    """
 
     __slots__ = (
-        "label", "alpha", "plan", "history", "iteration",
+        "label", "objective", "alpha", "plan", "history", "iteration",
         "pruned", "pruned_at", "learn_weights", "elapsed",
     )
 
-    def __init__(self, label, beta0, learn_weights, plan0):
+    def __init__(self, label, objective, beta0, learn_weights, plan0):
         self.label = label
+        self.objective = objective
         self.alpha = np.concatenate([beta0, beta0])
         self.plan = plan0.copy()
         self.history = IterateHistory()
@@ -89,10 +98,16 @@ class _BatchedRun:
 
 
 class _LockstepPortfolio:
-    """Advances a set of restarts iteration-by-iteration, batched."""
+    """Advances a set of restarts iteration-by-iteration, batched.
 
-    def __init__(self, objective: JointObjective, config, mu, nu):
-        self.objective = objective
+    The runs may share one objective (the within-pair portfolio) or
+    carry one objective each (the cross-pair coalesced solve); the
+    only requirements are a common ``(n, m)`` plan shape, common
+    marginals and a common config, so the stacked contractions and the
+    shared η schedule stay well-defined.
+    """
+
+    def __init__(self, config, mu, nu):
         self.config = config
         self.mu = mu
         self.nu = nu
@@ -119,8 +134,8 @@ class _LockstepPortfolio:
 
     def current_objective(self, run: _BatchedRun) -> float:
         t0 = time.perf_counter()
-        k = self.objective.n_bases
-        value = self.objective.value(
+        k = run.objective.n_bases
+        value = run.objective.value(
             run.plan, run.alpha[:k], run.alpha[k:]
         )
         self.timings["objective_eval"] += time.perf_counter() - t0
@@ -138,17 +153,17 @@ class _LockstepPortfolio:
         )
 
     # ------------------------------------------------------------------
-    def _combined_stacks(self, alphas: list[np.ndarray]):
+    def _combined_stacks(self, runs: list[_BatchedRun], alphas: list[np.ndarray]):
         """Stacked ``(R, n, n)`` / ``(R, m, m)`` combined matrices.
 
-        Each slice comes from ``JointObjective.combined`` — the exact
-        sequential accumulation the serial solver uses — and
-        ``np.stack`` copies it bit-for-bit into the batch.
+        Each slice comes from the run's own ``JointObjective.combined``
+        — the exact sequential accumulation the serial solver uses —
+        and ``np.stack`` copies it bit-for-bit into the batch.
         """
-        k = self.objective.n_bases
-        pairs = [
-            self.objective.combined(alpha[:k], alpha[k:]) for alpha in alphas
-        ]
+        pairs = []
+        for run, alpha in zip(runs, alphas):
+            k = run.objective.n_bases
+            pairs.append(run.objective.combined(alpha[:k], alpha[k:]))
         return (
             np.stack([d_s for d_s, _ in pairs]),
             np.stack([d_t for _, d_t in pairs]),
@@ -157,8 +172,6 @@ class _LockstepPortfolio:
     def _step_all(self, active: list[_BatchedRun]) -> None:
         """One outer iteration of Algorithm 1 for every live restart."""
         cfg = self.config
-        objective = self.objective
-        k = objective.n_bases
         iteration = active[0].iteration
         step_start = time.perf_counter()
 
@@ -172,7 +185,8 @@ class _LockstepPortfolio:
         if learn_rows:
             for _ in range(cfg.alpha_steps):
                 d_s, d_t = self._combined_stacks(
-                    [new_alphas[row] for row in learn_rows]
+                    [active[row] for row in learn_rows],
+                    [new_alphas[row] for row in learn_rows],
                 )
                 learn_plans = plans[learn_rows]
                 # the three transported matrices of the α-gradient,
@@ -183,7 +197,10 @@ class _LockstepPortfolio:
                     np.matmul(learn_plans.swapaxes(1, 2), d_s), learn_plans
                 )
                 for offset, row in enumerate(learn_rows):
+                    run = active[row]
+                    k = run.objective.n_bases
                     grad = self._alpha_gradient_from(
+                        run,
                         new_alphas[row],
                         transported_t[offset],
                         transported_s[offset],
@@ -197,16 +214,44 @@ class _LockstepPortfolio:
         t1 = time.perf_counter()
         self.timings["alpha_update"] += t1 - t0
 
-        d_s, d_t = self._combined_stacks(new_alphas)
+        d_s, d_t = self._combined_stacks(active, new_alphas)
         sp = np.matmul(d_s, plans)
-        if objective.fused:
+        fused_rows = [
+            row for row, run in enumerate(active) if run.objective.fused
+        ]
+        if len(fused_rows) == len(active):
             # symmetric bases: −2(D_s π D_tᵀ + D_sᵀ π D_t) = −4 D_s π D_t
             plan_grads = -4.0 * np.matmul(sp, d_t)
-        else:
+        elif not fused_rows:
             spt = np.matmul(sp, d_t.swapaxes(1, 2))
             plan_grads = -2.0 * (
                 spt
                 + np.matmul(np.matmul(d_s.swapaxes(1, 2), plans), d_t)
+            )
+        else:
+            # mixed batch (coalesced pairs disagreeing on basis
+            # symmetry): each sub-stack gets its own formula on a
+            # contiguous fancy-indexed copy — per-slice results are
+            # identical to the unmixed branches above
+            general_rows = [
+                row for row, run in enumerate(active)
+                if not run.objective.fused
+            ]
+            plan_grads = np.empty_like(plans)
+            plan_grads[fused_rows] = -4.0 * np.matmul(
+                sp[fused_rows], d_t[fused_rows]
+            )
+            spt = np.matmul(
+                sp[general_rows], d_t[general_rows].swapaxes(1, 2)
+            )
+            plan_grads[general_rows] = -2.0 * (
+                spt
+                + np.matmul(
+                    np.matmul(
+                        d_s[general_rows].swapaxes(1, 2), plans[general_rows]
+                    ),
+                    d_t[general_rows],
+                )
             )
         eta = eta_schedule(cfg, iteration)
         log_kernels = (
@@ -228,10 +273,11 @@ class _LockstepPortfolio:
             if not np.all(np.isfinite(new_plan)):
                 raise ConvergenceError("SLOTAlign plan became non-finite")
             new_alpha = new_alphas[row]
+            k = run.objective.n_bases
             alpha_delta = float(np.linalg.norm(new_alpha - run.alpha))
             plan_delta = float(np.linalg.norm(new_plan - run.plan))
             value = (
-                objective.value(new_plan, new_alpha[:k], new_alpha[k:])
+                run.objective.value(new_plan, new_alpha[:k], new_alpha[k:])
                 if cfg.track_history
                 else None
             )
@@ -250,6 +296,7 @@ class _LockstepPortfolio:
 
     def _alpha_gradient_from(
         self,
+        run: _BatchedRun,
         alpha: np.ndarray,
         transported_t: np.ndarray,
         transported_s: np.ndarray,
@@ -259,7 +306,7 @@ class _LockstepPortfolio:
         Mirrors ``JointObjective.alpha_gradient`` exactly, with the
         transported matrices supplied by the batched contractions.
         """
-        objective = self.objective
+        objective = run.objective
         k = objective.n_bases
         beta_s, beta_t = alpha[:k], alpha[k:]
         cross_s = (objective.source_stack * transported_t).sum(axis=(1, 2))
@@ -296,10 +343,10 @@ class BatchedRestartBackend:
             plan0, informative_init = problem.initial_coupling(mu, nu)
             starts = build_starts(cfg, k, informative_init)
             runs = [
-                _BatchedRun(label, beta0, learn, plan0)
+                _BatchedRun(label, objective, beta0, learn, plan0)
                 for label, beta0, learn in starts
             ]
-            lockstep = _LockstepPortfolio(objective, cfg, mu, nu)
+            lockstep = _LockstepPortfolio(cfg, mu, nu)
             checkpoints = prune_schedule(cfg) if len(runs) > 1 else []
             for checkpoint, margin in checkpoints:
                 lockstep.advance(runs, checkpoint)

@@ -1,0 +1,153 @@
+"""Batch-coalescing entry point: many small pairs, one stacked solve.
+
+The serving layer receives bursts of *independent* alignment requests
+whose problems are frequently tiny and identically shaped (same
+``(n, m)``, same config).  Solving them one by one repeats the
+``batched-restart`` story at a higher level: every per-iteration
+contraction is dispatched once per pair, and on small problems the
+BLAS call overhead rivals the GEMM itself.  :func:`solve_coalesced`
+stacks the restarts of **all** pairs into one lockstep batch — the
+``(B, n, m)`` generalisation of the within-pair ``(R, n, m)`` stack —
+so one outer iteration of Algorithm 1 advances every restart of every
+pair with single batched matmuls.
+
+Bitwise contract
+----------------
+Each pair's result is **bit-for-bit** what a direct single-pair engine
+run produces, for the same reason the ``batched-restart`` backend is
+bitwise-equal to the serial portfolio: every lockstep operation either
+acts on a run's own contiguous slice with the exact serial expression,
+or is a batched matmul that calls the same per-slice GEMM kernels as
+the 2-D code.  A run's iterates therefore never depend on what else is
+in the batch; coalescing is pure scheduling.  Portfolio pruning is
+applied *within* each pair's restart group (never across pairs), with
+the same checkpoints and margins the single-pair scheduler uses.
+
+Coalescibility (:func:`coalescible`) requires an identical config
+(shared η schedule, prune schedule and tolerances), identical plan
+shape (the stack and the shared uniform marginals), and a dense
+problem; pairs may differ in content, features and initial coupling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objective import JointObjective
+from repro.engine.batched import _BatchedRun, _LockstepPortfolio
+from repro.engine.planning import PreparedProblem
+from repro.engine.restarts import (
+    build_starts,
+    portfolio_result,
+    prune_schedule,
+    select_best,
+)
+from repro.exceptions import ConfigError
+from repro.utils.timer import Timer
+
+COALESCED_BACKEND = "coalesced"
+"""Backend label stamped on results produced by a coalesced solve."""
+
+
+def coalescible(a: PreparedProblem, b: PreparedProblem) -> bool:
+    """Whether two prepared problems can share one lockstep batch.
+
+    Requires equal configs (the η/prune schedules and tolerances are
+    shared across the batch) and equal plan shapes (one ``(B, n, m)``
+    stack, one pair of uniform marginals).  Contents may differ.
+    """
+    return (
+        a.config == b.config
+        and a.source.n_nodes == b.source.n_nodes
+        and a.target.n_nodes == b.target.n_nodes
+    )
+
+
+def solve_coalesced(problems: list[PreparedProblem]):
+    """Solve several same-shape problems as one stacked lockstep batch.
+
+    Returns one :class:`~repro.core.result.AlignmentResult` per input
+    problem, in order, each bit-for-bit equal to a direct single-pair
+    solve of that problem (see the module docstring).
+    """
+    if not problems:
+        return []
+    cfg = problems[0].config
+    for problem in problems[1:]:
+        if not coalescible(problems[0], problem):
+            raise ConfigError(
+                "coalesced solve requires identical configs and plan "
+                "shapes across all problems"
+            )
+    with Timer() as timer:
+        groups: list[tuple[int, list[_BatchedRun]]] = []
+        mu = nu = None
+        for problem in problems:
+            source_bases, target_bases = problem.bases
+            k = len(source_bases)
+            objective = JointObjective(
+                source_bases, target_bases, fused=cfg.fused_contractions
+            )
+            mu, nu = problem.marginals()
+            plan0, informative_init = problem.initial_coupling(mu, nu)
+            starts = build_starts(cfg, k, informative_init)
+            runs = [
+                _BatchedRun(label, objective, beta0, learn, plan0)
+                for label, beta0, learn in starts
+            ]
+            groups.append((k, runs))
+        all_runs = [run for _, runs in groups for run in runs]
+        lockstep = _LockstepPortfolio(cfg, mu, nu)
+        # one shared advance schedule; pruning stays within each
+        # pair's restart group, exactly as the single-pair scheduler
+        # decides it (groups of one never prune, as in the backends)
+        schedule = (
+            prune_schedule(cfg)
+            if any(len(runs) > 1 for _, runs in groups)
+            else []
+        )
+        for checkpoint, margin in schedule:
+            lockstep.advance(all_runs, checkpoint)
+            for _, runs in groups:
+                if len(runs) <= 1:
+                    continue
+                contenders = {
+                    run.label: lockstep.current_objective(run)
+                    for run in runs
+                    if not run.pruned
+                }
+                leader = min(contenders.values())
+                for run in runs:
+                    if (
+                        not run.pruned
+                        and not run.finished
+                        and contenders[run.label] > leader + margin
+                    ):
+                        run.prune()
+        lockstep.advance(all_runs, cfg.max_outer_iter)
+
+    results = []
+    for index, (k, runs) in enumerate(groups):
+        outcomes = [lockstep.outcome(run) for run in runs]
+        best = select_best(outcomes)
+        checkpoints = prune_schedule(cfg) if len(runs) > 1 else []
+        phase_timings = {
+            "basis_build": problems[index].basis_seconds,
+            # lockstep phase totals are shared across the batch; the
+            # per-restart shares below are this pair's own attribution
+            "alpha_update": lockstep.timings["alpha_update"],
+            "pi_update": lockstep.timings["pi_update"],
+            "objective_eval": lockstep.timings["objective_eval"],
+            "per_restart": {run.label: run.elapsed for run in runs},
+        }
+        result = portfolio_result(
+            COALESCED_BACKEND, outcomes, best, k, checkpoints,
+            phase_timings, runtime=sum(run.elapsed for run in runs),
+        )
+        result.extras["coalesced"] = {
+            "batch_size": len(problems),
+            "batch_index": index,
+            "batch_runtime": timer.elapsed,
+        }
+        results.append(result)
+    return results

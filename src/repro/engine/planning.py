@@ -118,6 +118,22 @@ def graph_digest(graph: AttributedGraph) -> bytes:
     return digest.digest()
 
 
+class _InFlightBuild:
+    """Rendezvous for one in-progress basis construction.
+
+    Waiters park on ``event``; the builder publishes either ``bases``
+    (frozen, shared directly — valid even when the finished entry is
+    too large to cache) or ``error`` before setting the event.
+    """
+
+    __slots__ = ("event", "bases", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.bases: list[np.ndarray] | None = None
+        self.error: BaseException | None = None
+
+
 class PlanCache:
     """Content-keyed LRU cache of structure-basis lists.
 
@@ -127,11 +143,15 @@ class PlanCache:
     in bytes rather than entry counts).
 
     Thread-safe: the shared process-wide cache is reached from the
-    scale pipeline's ``thread`` executor, so lookups, LRU bookkeeping
-    and eviction run under one lock (basis *construction* happens
-    outside it — concurrent misses on the same key both build and the
-    second store wins, which is benign since the builds are
-    bit-identical).
+    scale pipeline's ``thread`` executor and the serving worker pool,
+    so lookups, LRU bookkeeping and eviction run under one lock.
+    Basis *construction* happens outside the lock under a
+    **single-flight** discipline: the first requester of a key becomes
+    its builder, concurrent requesters park on a per-key event and
+    receive the builder's arrays when it publishes — a burst of
+    identical requests pays for exactly one kernel construction
+    (``builds`` counts actual constructions; ``misses`` counts
+    requests that found no ready entry, parked waiters included).
     """
 
     def __init__(self, max_bytes: int = 128 * 1024 * 1024):
@@ -141,8 +161,10 @@ class PlanCache:
         self._entries: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
+        self._in_flight: dict[tuple, _InFlightBuild] = {}
         self.hits = 0
         self.misses = 0
+        self.builds = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -159,18 +181,52 @@ class PlanCache:
         Returns a fresh list container per call (so callers may extend
         it, as the KG pipeline does with relation views); the basis
         arrays themselves are shared and must be treated as read-only.
+
+        Concurrent misses on one key are **single-flight**: exactly
+        one thread constructs the bases, the rest wait on the in-flight
+        build and share its (frozen) arrays — even when the entry is
+        too large to retain in the cache afterwards.
         """
         key = (graph_digest(graph), view_spec(config))
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self.hits += 1
-                self._entries.move_to_end(key)
-                return list(cached)
-            self.misses += 1
-        bases = build_bases(graph, config)
-        with self._lock:
-            self._store(key, bases)
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return list(cached)
+                self.misses += 1
+                flight = self._in_flight.get(key)
+                if flight is None:
+                    flight = _InFlightBuild()
+                    self._in_flight[key] = flight
+                    break  # this thread is the builder
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            if flight.bases is not None:
+                return list(flight.bases)
+            # builder vanished without publishing (should not happen);
+            # loop and retry from the cache
+        try:
+            bases = build_bases(graph, config)
+            for basis in bases:
+                # enforce the read-only contract before *any* sharing:
+                # waiters receive these arrays even when the entry is
+                # too large to cache, and an in-place mutation would
+                # silently poison every concurrent content-equal solve
+                basis.setflags(write=False)
+            with self._lock:
+                self.builds += 1
+                self._store(key, bases)
+            flight.bases = bases
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            flight.event.set()
         return list(bases)
 
     def clear(self) -> None:
@@ -187,10 +243,15 @@ class PlanCache:
                 "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
+                "builds": self.builds,
             }
 
     def _store(self, key: tuple, bases: list[np.ndarray]) -> None:
-        """Insert under the held lock, evicting LRU past the budget."""
+        """Insert under the held lock, evicting LRU past the budget.
+
+        Arrays must already be frozen by the caller (the single-flight
+        builder freezes before any sharing happens).
+        """
         if key in self._entries:
             return  # a concurrent miss already stored identical bases
         size = sum(basis.nbytes for basis in bases)
@@ -199,23 +260,27 @@ class PlanCache:
         while self._bytes + size > self.max_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= sum(basis.nbytes for basis in evicted)
-        for basis in bases:
-            # enforce the read-only contract: an in-place mutation by a
-            # caller would silently poison every future content-equal
-            # solve; freezing turns that into an immediate ValueError
-            basis.setflags(write=False)
         self._entries[key] = list(bases)
         self._bytes += size
 
 
 _SHARED_CACHE: PlanCache | None = None
+_SHARED_CACHE_LOCK = threading.Lock()
 
 
 def shared_plan_cache() -> PlanCache:
-    """The process-wide default plan cache (created on first use)."""
+    """The process-wide default plan cache (created on first use).
+
+    Creation is guarded by a double-checked lock: two threads racing
+    on first use must receive the *same* cache, or cross-request
+    sharing (the whole point of the process-wide instance) is silently
+    lost for one of them.
+    """
     global _SHARED_CACHE
     if _SHARED_CACHE is None:
-        _SHARED_CACHE = PlanCache()
+        with _SHARED_CACHE_LOCK:
+            if _SHARED_CACHE is None:
+                _SHARED_CACHE = PlanCache()
     return _SHARED_CACHE
 
 

@@ -12,6 +12,10 @@ from repro.experiments.fig6_structure import run_fig6
 from repro.experiments.fig7_feature import run_fig7
 from repro.experiments.fig8_sensitivity import run_fig8
 from repro.experiments.scalability import run_scalability
+from repro.experiments.serve_traffic import (
+    format_serve_report,
+    run_serve_traffic,
+)
 from repro.experiments.table2_realworld import run_table2
 from repro.experiments.table3_dbp15k import run_table3
 from repro.experiments.ablations import ablation_aligners
@@ -28,6 +32,8 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_scalability",
+    "format_serve_report",
+    "run_serve_traffic",
     "run_table2",
     "run_table3",
     "ablation_aligners",

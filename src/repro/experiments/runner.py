@@ -20,11 +20,16 @@ from repro.experiments.fig6_structure import run_fig6
 from repro.experiments.fig7_feature import run_fig7
 from repro.experiments.fig8_sensitivity import run_fig8
 from repro.experiments.scalability import run_scalability
+from repro.experiments.serve_traffic import (
+    format_serve_report,
+    run_serve_traffic,
+)
 from repro.experiments.table2_realworld import run_table2
 from repro.experiments.table3_dbp15k import run_table3
 
 EXPERIMENTS = (
     "fig3", "fig6", "fig7", "table2", "table3", "fig8", "scale", "fidelity",
+    "serve",
 )
 
 
@@ -105,6 +110,9 @@ def run_experiment(name: str, scale: ExperimentScale) -> str:
                 f"(cpu_count={out['cpu_count']})"
             ),
         )
+    if name == "serve":
+        report = run_serve_traffic(scale=scale.dataset_scale, seed=scale.seed)
+        return format_serve_report(report)
     if name == "fidelity":
         table2 = run_table2(scale, with_ablations=False)
         for dataset, rows in table2.items():

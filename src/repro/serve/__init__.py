@@ -1,0 +1,27 @@
+"""Alignment-as-a-service: job queue, admission control, worker pool.
+
+The serving layer (ROADMAP item 1) wraps the unified engine in a
+long-lived, in-process service: :class:`AlignmentService` accepts
+alignment requests as :class:`Job` handles through a thread-safe FIFO
+:class:`JobQueue`, shares one content-keyed plan cache across all
+jobs, coalesces compatible same-shape requests into one stacked
+lockstep solve (bit-for-bit equal to direct engine runs), and applies
+:class:`AdmissionPolicy` budgets at submit time with graceful
+rejection.  The ``repro serve`` CLI subcommand and the serving
+benchmark (``benchmarks/test_serve_bench.py``) drive it with
+synthetic traffic.
+"""
+
+from repro.serve.budget import AdmissionPolicy
+from repro.serve.jobs import Job, JobQueue, JobState, QueueClosed
+from repro.serve.service import AlignmentService, wait_all
+
+__all__ = [
+    "AdmissionPolicy",
+    "AlignmentService",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueueClosed",
+    "wait_all",
+]

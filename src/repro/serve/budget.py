@@ -1,0 +1,81 @@
+"""Admission control for the alignment service.
+
+A long-lived service cannot let any single request monopolise it: a
+pathological pair (huge ``n × m`` plan) or configuration (an unbounded
+iteration budget) would head-of-line-block every other client, and an
+unbounded queue turns overload into memory exhaustion.  The
+:class:`AdmissionPolicy` therefore reviews every request *at submit
+time* against three budgets — queue depth, per-job outer-iteration
+budget, and per-job plan bytes (the dense ``(n, m)`` iterate dominates
+a solve's footprint) — and turns violations into **graceful
+rejections**: the job completes immediately in state ``REJECTED`` with
+a human-readable reason, instead of raising into the worker loop or
+silently queueing work that can never be good.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SLOTAlignConfig
+
+_FLOAT_BYTES = 8  # float64 plan entries
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-job and queue budgets enforced at submit time.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Requests admitted but not yet started; the backpressure bound.
+    max_outer_iter:
+        Largest per-job ``config.max_outer_iter`` accepted — the
+        iteration budget a single request may claim from the workers.
+    max_plan_bytes:
+        Largest dense ``(n, m)`` float64 plan a job may allocate;
+        bounds both memory and (quadratically) per-iteration cost.
+
+    Any bound can be disabled with ``None``.
+    """
+
+    max_queue_depth: int | None = 256
+    max_outer_iter: int | None = 2000
+    max_plan_bytes: int | None = 64 * 1024 * 1024
+
+    def review(
+        self,
+        n_source: int,
+        n_target: int,
+        config: SLOTAlignConfig,
+        queue_depth: int,
+    ) -> str | None:
+        """The rejection reason for a request, or ``None`` to admit."""
+        if (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        ):
+            return (
+                f"queue full: {queue_depth} jobs waiting "
+                f"(max_queue_depth={self.max_queue_depth})"
+            )
+        if (
+            self.max_outer_iter is not None
+            and config.max_outer_iter > self.max_outer_iter
+        ):
+            return (
+                f"iteration budget exceeded: requested "
+                f"{config.max_outer_iter} outer iterations "
+                f"(max_outer_iter={self.max_outer_iter})"
+            )
+        plan_bytes = n_source * n_target * _FLOAT_BYTES
+        if (
+            self.max_plan_bytes is not None
+            and plan_bytes > self.max_plan_bytes
+        ):
+            return (
+                f"plan too large: {n_source}×{n_target} needs "
+                f"{plan_bytes} bytes (max_plan_bytes={self.max_plan_bytes})"
+            )
+        return None

@@ -1,0 +1,339 @@
+"""The in-process alignment service: queue, workers, coalescing.
+
+:class:`AlignmentService` turns the PR-5 engine into a long-lived
+**alignment-as-a-service** endpoint: clients :meth:`~AlignmentService.submit`
+graph pairs and get back :class:`~repro.serve.jobs.Job` handles they
+can wait on, while a pool of worker threads drains a FIFO
+:class:`~repro.serve.jobs.JobQueue`.  Three engine-level properties do
+the heavy lifting:
+
+* **shared plan cache** — all jobs plan through one
+  :class:`~repro.engine.planning.PlanCache` (the process-wide shared
+  cache by default), so repeated or content-equal pairs pay kernel
+  construction once, across jobs and across workers (the cache's
+  single-flight discipline absorbs concurrent misses);
+* **batch coalescing** — a worker that dequeues a job also drains the
+  queued jobs *compatible* with it (identical config, identical plan
+  shape, dense backend) and solves them as one stacked
+  ``(B·R, n, m)`` lockstep batch via
+  :func:`~repro.engine.coalesce.solve_coalesced`.  Coalescing is pure
+  scheduling: every pair's plan stays bit-for-bit identical to a
+  direct :class:`~repro.engine.AlignmentEngine` run;
+* **admission control** — every submit is reviewed by an
+  :class:`~repro.serve.budget.AdmissionPolicy`; over-budget requests
+  complete immediately as ``REJECTED`` with a reason instead of
+  entering the queue.
+
+The service is deliberately in-process (no sockets): the CLI's
+``repro serve`` subcommand and the serving benchmark drive it with
+synthetic traffic, and a network front door would be a thin shim over
+exactly this API.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.config import SLOTAlignConfig
+from repro.engine.backends import DEFAULT_BACKEND, backend_kind, get_backend
+from repro.engine.coalesce import coalescible, solve_coalesced
+from repro.engine.evaluate import evaluate_alignment
+from repro.engine.pipeline import EngineRun
+from repro.engine.planning import (
+    PlanCache,
+    prepare_problem,
+    shared_plan_cache,
+)
+from repro.graphs.graph import AttributedGraph
+from repro.serve.budget import AdmissionPolicy
+from repro.serve.jobs import Job, JobQueue, JobState, QueueClosed
+
+_SHARED = object()
+"""Sentinel: "use the process-wide shared plan cache"."""
+
+
+def _percentile(values: list[float], q: float) -> float | None:
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class AlignmentService:
+    """Long-lived alignment job server over the unified engine.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`SLOTAlignConfig` for jobs submitted without an
+        explicit one.
+    backend:
+        Solver backend for solo (non-coalesced) solves.  Coalescing
+        requires a dense backend; with a sparse backend the service
+        degrades to solo solves.
+    cache:
+        :class:`PlanCache` shared by every job.  Defaults to the
+        process-wide shared cache; pass ``None`` to disable caching.
+    policy:
+        :class:`AdmissionPolicy` reviewed at submit time.
+    workers:
+        Worker-thread count.  One worker keeps completion strictly
+        FIFO; more trade ordering for parallel throughput.
+    coalesce:
+        Whether workers may batch compatible queued jobs into one
+        stacked solve.
+    max_batch:
+        Largest number of jobs one coalesced solve may absorb.
+    evaluate_ks:
+        ``k`` values for Hits@k when a job carries ground truth.
+    """
+
+    def __init__(
+        self,
+        config: SLOTAlignConfig | None = None,
+        backend: str = DEFAULT_BACKEND,
+        cache=_SHARED,
+        policy: AdmissionPolicy | None = None,
+        workers: int = 1,
+        coalesce: bool = True,
+        max_batch: int = 8,
+        evaluate_ks=(1, 5, 10, 30),
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.config = config or SLOTAlignConfig()
+        self.backend = backend
+        self.cache: PlanCache | None = (
+            shared_plan_cache() if cache is _SHARED else cache
+        )
+        self.policy = policy or AdmissionPolicy()
+        self.workers = workers
+        self.coalesce = coalesce and backend_kind(backend) == "dense"
+        self.max_batch = max_batch
+        self.evaluate_ks = tuple(evaluate_ks)
+        self._queue = JobQueue()
+        self._threads: list[threading.Thread] = []
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "coalesced_batches": 0,
+            "coalesced_pairs": 0,
+            "solo_pairs": 0,
+        }
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def start(self) -> "AlignmentService":
+        """Start the worker pool (idempotent)."""
+        if self._queue.closed:
+            raise QueueClosed("service has been stopped")
+        if self._threads:
+            return self
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"align-serve-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain queued jobs, then join the workers."""
+        self._queue.close()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def __enter__(self) -> "AlignmentService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # client API
+    def submit(
+        self,
+        source: AttributedGraph,
+        target: AttributedGraph,
+        config: SLOTAlignConfig | None = None,
+        ground_truth: np.ndarray | None = None,
+        init_plan: np.ndarray | None = None,
+        tag: str | None = None,
+    ) -> Job:
+        """Enqueue one alignment request and return its job handle.
+
+        Admission control runs here: an over-budget request returns a
+        job already in state ``REJECTED`` (with ``error`` naming the
+        violated budget) and never enters the queue.
+        """
+        job = Job(
+            source=source,
+            target=target,
+            config=config or self.config,
+            ground_truth=ground_truth,
+            init_plan=init_plan,
+            tag=tag,
+        )
+        with self._stats_lock:
+            self._counters["submitted"] += 1
+        reason = self.policy.review(
+            source.n_nodes, target.n_nodes, job.config, len(self._queue)
+        )
+        if reason is not None:
+            job.mark_rejected(reason)
+            with self._stats_lock:
+                self._counters["rejected"] += 1
+            return job
+        self._queue.put(job)
+        return job
+
+    def stats(self) -> dict:
+        """Service counters, latency percentiles and cache diagnostics."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+            latencies = list(self._latencies)
+        return {
+            **counters,
+            "queue_depth": len(self._queue),
+            "workers": self.workers,
+            "latency_seconds": {
+                "count": len(latencies),
+                "p50": _percentile(latencies, 50),
+                "p99": _percentile(latencies, 99),
+                "mean": (
+                    float(np.mean(latencies)) if latencies else None
+                ),
+            },
+            "cache": self.cache.info() if self.cache is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    # worker side
+    def _compatible(self, head: Job, other: Job) -> bool:
+        return (
+            other.config == head.config
+            and other.source.n_nodes == head.source.n_nodes
+            and other.target.n_nodes == head.target.n_nodes
+        )
+
+    def _worker_loop(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is None:
+                return  # queue closed and drained
+            batch = [head]
+            if self.coalesce and self.max_batch > 1:
+                batch += self._queue.take_matching(
+                    lambda job: self._compatible(head, job),
+                    self.max_batch - 1,
+                )
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[Job]) -> None:
+        # plan stage: per-job, so a malformed request (bad init plan,
+        # missing features) fails that job alone and the survivors
+        # still solve
+        planned: list[tuple[Job, object, float]] = []
+        for job in batch:
+            job.mark_running()
+            t0 = time.perf_counter()
+            try:
+                problem = prepare_problem(
+                    job.source,
+                    job.target,
+                    job.config,
+                    init_plan=job.init_plan,
+                    cache=self.cache,
+                )
+                problem.bases  # force basis construction through the cache
+                # validate the initial coupling now: a malformed init
+                # plan must fail this job alone, not the whole batch
+                problem.initial_coupling(*problem.marginals())
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                self._finish_failed(job, f"plan failed: {exc!r}")
+                continue
+            planned.append((job, problem, time.perf_counter() - t0))
+        if not planned:
+            return
+
+        t0 = time.perf_counter()
+        try:
+            if len(planned) > 1:
+                results = solve_coalesced([p for _, p, _ in planned])
+                with self._stats_lock:
+                    self._counters["coalesced_batches"] += 1
+                    self._counters["coalesced_pairs"] += len(planned)
+            else:
+                [(job, problem, _)] = planned
+                backend = get_backend(self.backend)
+                results = [backend.solve(problem)]
+                with self._stats_lock:
+                    self._counters["solo_pairs"] += 1
+        except Exception as exc:  # noqa: BLE001 - job isolation
+            for job, _, _ in planned:
+                self._finish_failed(job, f"solve failed: {exc!r}")
+            return
+        solve_seconds = time.perf_counter() - t0
+
+        for (job, problem, plan_seconds), result in zip(planned, results):
+            t0 = time.perf_counter()
+            try:
+                metrics: dict[str, float] = {}
+                if job.ground_truth is not None:
+                    metrics = evaluate_alignment(
+                        result, job.ground_truth, ks=self.evaluate_ks
+                    )
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                self._finish_failed(job, f"evaluate failed: {exc!r}")
+                continue
+            run = EngineRun(
+                result=result,
+                metrics=metrics,
+                stage_seconds={
+                    "plan": plan_seconds,
+                    # one lockstep solve advances the whole batch; each
+                    # job is billed the shared batch wall-clock
+                    "solve": solve_seconds,
+                    "evaluate": time.perf_counter() - t0,
+                },
+            )
+            job.mark_done(run, batch_size=len(planned))
+            with self._stats_lock:
+                self._counters["completed"] += 1
+                if job.latency_seconds is not None:
+                    self._latencies.append(job.latency_seconds)
+
+    def _finish_failed(self, job: Job, error: str) -> None:
+        job.mark_failed(error)
+        with self._stats_lock:
+            self._counters["failed"] += 1
+
+
+def wait_all(jobs: list[Job], timeout: float | None = None) -> bool:
+    """Block until every job is terminal; False if the deadline passes."""
+    deadline = None if timeout is None else time.perf_counter() + timeout
+    for job in jobs:
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.perf_counter())
+        if not job.wait(remaining) and not job.done:
+            return False
+    return True
+
+
+__all__ = [
+    "AlignmentService",
+    "JobState",
+    "wait_all",
+]

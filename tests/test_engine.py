@@ -285,6 +285,105 @@ class TestPlanCacheThreadSafety:
         assert not errors
         assert cache.nbytes <= cache.max_bytes
 
+    def test_concurrent_misses_build_each_key_exactly_once(self):
+        """Single-flight: a burst of threads requesting the same keys
+        must trigger exactly one construction per key, with nbytes
+        accounting exact and every shared array frozen."""
+        import threading
+
+        pairs = [bench_pair(seed=s) for s in range(3)]
+        graphs = [p.source for p in pairs] + [p.target for p in pairs]
+        cache = PlanCache()
+        barrier = threading.Barrier(8)
+        errors = []
+        results: list[list] = []
+
+        def worker():
+            try:
+                barrier.wait()
+                for graph in graphs:
+                    results.append(cache.bases_for(graph, FAST))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # one build per distinct key, no duplicated kernel construction
+        assert cache.builds == len(graphs)
+        assert len(cache) == len(graphs)
+        assert cache.hits + cache.misses == 8 * len(graphs)
+        # nbytes accounting must equal the exact sum of held arrays
+        expected = sum(
+            sum(b.nbytes for b in cache.bases_for(g, FAST)) for g in graphs
+        )
+        assert cache.nbytes == expected
+        # every array handed out (builder or waiter) honours the
+        # frozen-array contract
+        for bases in results:
+            for basis in bases:
+                assert not basis.flags.writeable
+
+    def test_single_flight_serves_waiters_of_uncacheable_entries(self):
+        """Waiters must receive the builder's arrays even when the
+        finished entry is too large to retain in the cache."""
+        import threading
+
+        pair = bench_pair()
+        cache = PlanCache(max_bytes=1)  # nothing fits
+        barrier = threading.Barrier(6)
+        errors = []
+        outputs = []
+
+        def worker():
+            try:
+                barrier.wait()
+                outputs.append(cache.bases_for(pair.source, FAST))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outputs) == 6
+        reference = outputs[0]
+        for bases in outputs[1:]:
+            for a, b in zip(reference, bases):
+                np.testing.assert_array_equal(a, b)
+        assert len(cache) == 0  # never cached — but everyone was served
+
+    def test_shared_plan_cache_is_one_instance_under_races(self):
+        """Regression: the lazy singleton used to be unsynchronized —
+        two threads racing on first use each built a PlanCache."""
+        import threading
+
+        from repro.engine import planning
+
+        original = planning._SHARED_CACHE
+        try:
+            planning._SHARED_CACHE = None
+            barrier = threading.Barrier(8)
+            seen = []
+
+            def worker():
+                barrier.wait()
+                seen.append(planning.shared_plan_cache())
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len({id(cache) for cache in seen}) == 1
+        finally:
+            planning._SHARED_CACHE = original
+
 
 class TestCacheReadOnlyContract:
     def test_cached_bases_are_frozen(self):

@@ -45,6 +45,40 @@ class TestUnbalancedSinkhorn:
         result = sinkhorn_unbalanced(cost, mu, nu, epsilon=0.1, rho=0.5)
         assert result.plan.sum() > 0
 
+    def test_convergence_checked_on_final_iteration(self):
+        """Regression: ``max_iter % 10 != 0`` used to skip the last
+        convergence check, reporting converged=False after converging."""
+        cost, mu, nu = random_problem(5, 5, seed=6)
+        long = sinkhorn_unbalanced(
+            cost, mu, nu, epsilon=0.1, rho=1.0, max_iter=1000, tol=1e-9
+        )
+        assert long.converged
+        # rerun with a budget ending past the converged iterate but off
+        # the every-10th grid: the final-iteration check must fire
+        odd_budget = long.n_iterations + 1
+        if odd_budget % 10 == 0:
+            odd_budget += 1
+        clipped = sinkhorn_unbalanced(
+            cost, mu, nu, epsilon=0.1, rho=1.0, max_iter=odd_budget, tol=1e-9
+        )
+        assert clipped.converged
+
+    def test_err_is_relaxed_fixed_point_residual(self):
+        """A converged small-rho run must report a small residual: the
+        balanced row-marginal error is large by design there."""
+        cost, mu, nu = random_problem(6, 6, seed=7)
+        result = sinkhorn_unbalanced(
+            cost, mu, nu, epsilon=0.1, rho=0.05, max_iter=5000, tol=1e-12
+        )
+        assert result.converged
+        assert result.marginal_error < 1e-8
+        # the balanced residual really is large for this run — the old
+        # reporting would have called this "error"
+        balanced_residual = float(
+            np.abs(result.plan.sum(axis=1) - mu).sum()
+        )
+        assert balanced_residual > 1e-2
+
     def test_parameter_validation(self):
         cost, mu, nu = random_problem(3, 3)
         with pytest.raises(ValueError):
@@ -56,11 +90,13 @@ class TestUnbalancedSinkhorn:
 
 
 class TestPartialWasserstein:
-    def test_total_mass_controlled(self):
+    def test_total_mass_honours_documented_contract(self):
+        """Regression: the plan used to total ``mass/(1+slack)`` while
+        the docstring promised ``mass``."""
         cost, mu, nu = random_problem(6, 6, seed=3)
         for mass in (0.5, 0.8, 1.0):
             plan = partial_wasserstein(cost, mu, nu, mass=mass)
-            assert plan.sum() == pytest.approx(mass / (2.0 - mass), abs=0.05)
+            assert plan.sum() == pytest.approx(mass, rel=1e-12)
 
     def test_keeps_cheap_pairs(self):
         """Partial OT should drop the most expensive correspondences."""
