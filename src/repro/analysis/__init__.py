@@ -1,0 +1,52 @@
+"""Project-native static analysis: ``repro lint`` and ``racecheck``.
+
+The codebase rests on three load-bearing correctness contracts that
+tests alone cannot enforce:
+
+1. **bitwise-pinned numeric paths** — the fast Sinkhorn kernels, the
+   lockstep portfolio update and the fused contraction core must never
+   be silently modified; a divergent variant must register under a new
+   solver-backend name (the "never mutate ``fused-dense``" rule);
+2. **guarded shared state** — attributes of the threaded serving layer
+   (:class:`~repro.serve.jobs.JobQueue`,
+   :class:`~repro.serve.service.AlignmentService`,
+   :class:`~repro.engine.planning.PlanCache`) may only be touched
+   under their declared lock;
+3. **no densification at scale** — the sparse pipeline must never
+   materialise an n×n object outside the whitelisted guard sites.
+
+This package enforces all three:
+
+* :mod:`repro.analysis.core` — the AST rule engine behind
+  ``repro lint`` (findings with ``file:line``, rule ids, inline
+  suppression via ``# repro-lint: ignore[rule-id]``);
+* :mod:`repro.analysis.guards` — the ``guarded-by`` checker over
+  ``#: guarded-by: _lock`` declarations;
+* :mod:`repro.analysis.pins` — the ``pinned-path`` fingerprint rule
+  over ``#: pinned`` markers and the committed ``pins.json``;
+* :mod:`repro.analysis.densify` — the ``no-densify`` rule;
+* :mod:`repro.analysis.unused` — the ``unused-name`` hygiene rule;
+* :mod:`repro.analysis.racecheck` — runtime instrumented locks for the
+  concurrency tests: lock-order-inversion detection and unguarded
+  concurrent-access detection on registered objects.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintError,
+    Module,
+    default_rules,
+    iter_modules,
+    run_lint,
+)
+from repro.analysis.pins import update_pins
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Module",
+    "default_rules",
+    "iter_modules",
+    "run_lint",
+    "update_pins",
+]

@@ -1,0 +1,232 @@
+"""The rule engine behind ``repro lint``.
+
+The engine walks every Python module under the ``repro`` package root,
+parses it once into a :class:`Module` (source, AST, suppression table),
+runs each registered :class:`Rule` over it and collects
+:class:`Finding` objects.  A finding is reported as::
+
+    src/repro/serve/jobs.py:141: [guarded-by] ...
+
+Suppression is inline and per-line::
+
+    norm.toarray()  # repro-lint: ignore[no-densify]
+
+A suppression comment on its own line applies to the next source line,
+so guard sites with long expressions stay readable.  ``ignore[*]``
+suppresses every rule on the line.  There is deliberately **no**
+baseline file: the tree lints clean, and new findings must be fixed or
+explicitly suppressed at the site where the contract is waived.
+
+Rules see the whole module (and may keep cross-module state, reported
+via :meth:`Rule.finish` after the walk) — the pinned-path rule uses
+that to flag stale ``pins.json`` entries whose target no longer
+exists.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+"""Filesystem root of the ``repro`` package (``src/repro``)."""
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([\w*,\s-]+)\]")
+
+_MARKER_RE = re.compile(r"#:\s*(guarded-by|requires|pinned)\b:?\s*([\w,\s]*)")
+"""Structured source annotations the project rules consume.
+
+``#: guarded-by: _lock`` (attribute declarations), ``#: requires:
+_lock`` (method precondition: caller holds the lock) and ``#: pinned``
+(bitwise-pinned definition) share one comment grammar so they are
+greppable as a family.
+"""
+
+
+class LintError(RuntimeError):
+    """Raised for unusable lint configuration (bad path, bad rule id)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, anchored to a file and line."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+class Module:
+    """One parsed source module plus its lint-relevant side tables.
+
+    Parameters
+    ----------
+    path:
+        Display path for findings (repo-relative where possible).
+    source:
+        Full module source text.
+    rel:
+        Path relative to the package root, posix-style (e.g.
+        ``"ot/sinkhorn.py"``) — the stable key used by the pinned-path
+        rule and the scope checks.
+    """
+
+    def __init__(self, path: str, source: str, rel: str):
+        self.path = str(path)
+        self.rel = Path(rel).as_posix()
+        self.source = source
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:  # pragma: no cover - unparseable tree
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        self.lines = source.splitlines()
+        self.suppressions = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+        table: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            target = lineno
+            if text.lstrip().startswith("#"):
+                # standalone comment: applies to the next source line
+                target = lineno + 1
+            table[target] = table.get(target, frozenset()) | ids
+        return table
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self.suppressions.get(line)
+        return ids is not None and (rule_id in ids or "*" in ids)
+
+    def marker(self, node: ast.AST, kind: str) -> str | None:
+        """The ``#: <kind>`` annotation attached to a definition node.
+
+        Searched over the header lines of the statement — from the
+        ``def``/``class``/assignment line down to the line before its
+        body (or its own last line for simple statements) — so markers
+        survive black-style argument wrapping.
+        """
+        start = getattr(node, "lineno", None)
+        if start is None:
+            return None
+        body = getattr(node, "body", None)
+        if body:
+            stop = body[0].lineno - 1
+        else:
+            stop = getattr(node, "end_lineno", start)
+        for lineno in range(start, max(stop, start) + 1):
+            if lineno > len(self.lines):
+                break
+            match = _MARKER_RE.search(self.lines[lineno - 1])
+            if match and match.group(1) == kind:
+                return match.group(2).strip()
+        return None
+
+
+class Rule:
+    """Base class for project lint rules."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, module: Module) -> list[Finding]:
+        raise NotImplementedError
+
+    def finish(self) -> list[Finding]:
+        """Cross-module findings, emitted after every module was seen."""
+        return []
+
+
+def iter_modules(root: Path | None = None) -> list[Module]:
+    """Parse every ``.py`` file under ``root`` (default: the package).
+
+    ``rel`` stays relative to the *package* root when linting the
+    package tree, so rule scopes ("``scale/``", pin qualnames) are
+    stable no matter where the repo is checked out.
+    """
+    base = PACKAGE_ROOT if root is None else Path(root)
+    if not base.exists():
+        raise LintError(f"lint root does not exist: {base}")
+    files = [base] if base.is_file() else sorted(base.rglob("*.py"))
+    modules = []
+    for file in files:
+        try:
+            rel = file.resolve().relative_to(PACKAGE_ROOT).as_posix()
+            display = f"src/repro/{rel}"
+        except ValueError:
+            rel = file.as_posix()
+            display = rel
+        modules.append(
+            Module(display, file.read_text(encoding="utf-8"), rel)
+        )
+    return modules
+
+
+def default_rules() -> list[Rule]:
+    """The project rule set, in reporting-priority order."""
+    # local imports: the rule modules import this one for the base types
+    from repro.analysis.densify import NoDensifyRule
+    from repro.analysis.guards import GuardedByRule
+    from repro.analysis.pins import PinnedPathRule
+    from repro.analysis.unused import UnusedNameRule
+
+    return [PinnedPathRule(), GuardedByRule(), NoDensifyRule(), UnusedNameRule()]
+
+
+def run_lint(
+    root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+    modules: Iterable[Module] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over the tree and return unsuppressed findings.
+
+    ``modules`` injects pre-built modules (tests seed violations
+    through synthetic sources); otherwise the tree under ``root`` is
+    parsed.
+    """
+    active = list(default_rules() if rules is None else rules)
+    everything = (
+        list(modules) if modules is not None else iter_modules(root)
+    )
+    findings: list[Finding] = []
+    for module in everything:
+        for rule in active:
+            for finding in rule.check(module):
+                if not module.suppressed(finding.line, finding.rule_id):
+                    findings.append(finding)
+    for rule in active:
+        findings.extend(rule.finish())
+    return sorted(findings)
+
+
+def qualname_walk(tree: ast.AST):
+    """Yield ``(qualname, node)`` for every def/class in ``tree``.
+
+    Qualified names join nesting with ``.`` (``Class.method``), the
+    form used by pin entries and allowlists.
+    """
+
+    def visit(node: ast.AST, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")

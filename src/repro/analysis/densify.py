@@ -1,0 +1,111 @@
+"""The ``no-densify`` rule: the sparse pipeline never materialises n×n.
+
+ROADMAP item 2's contract: everything downstream of the partitioned
+aligner stays sparse — CSR plans flow into the metrics, top-k and
+matching without densification, and the *only* blessed escape hatch is
+:meth:`PartitionedAlignment.dense_plan`, which refuses plans above
+``DENSE_GUARD_ENTRIES`` unless forced.
+
+Inside the scoped subtrees (``repro/scale/``, ``repro/engine/``) this
+rule flags
+
+* any ``.toarray()`` / ``.todense()`` call, and
+* ``np.asarray(...)`` applied to an expression that names an
+  ``adjacency`` (graph adjacencies are CSR throughout the codebase, so
+  this is a densification in disguise),
+
+unless the call sits inside an allowlisted guard site or carries an
+inline ``# repro-lint: ignore[no-densify]`` at a size-guarded fallback
+(the dense eigendecomposition under ``_DENSE_BISECT_CUTOFF`` is the
+one such site today).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Module, Rule
+
+SCOPES = ("scale/", "engine/")
+"""Package-relative subtrees the rule applies to."""
+
+GUARD_SITES = frozenset({
+    "scale/aligner.py::PartitionedAlignment.dense_plan",
+})
+"""Qualnames allowed to densify: these *are* the guard (size-checked,
+force-gated) the rest of the pipeline is told to use instead."""
+
+
+def _names_adjacency(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and "adjacency" in sub.attr:
+            return True
+        if isinstance(sub, ast.Name) and "adjacency" in sub.id:
+            return True
+    return False
+
+
+class NoDensifyRule(Rule):
+    rule_id = "no-densify"
+    description = (
+        "no .toarray()/.todense()/np.asarray(adjacency) in repro/scale or "
+        "repro/engine outside the dense_plan guard site"
+    )
+
+    def check(self, module: Module) -> list[Finding]:
+        if not module.rel.startswith(SCOPES):
+            return []
+        findings: list[Finding] = []
+        allowed_ranges = self._allowed_ranges(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node)
+            if message is None:
+                continue
+            if any(lo <= node.lineno <= hi for lo, hi in allowed_ranges):
+                continue
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=message,
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _allowed_ranges(self, module: Module) -> list[tuple[int, int]]:
+        from repro.analysis.core import qualname_walk
+
+        ranges = []
+        for qual, node in qualname_walk(module.tree):
+            if f"{module.rel}::{qual}" in GUARD_SITES:
+                ranges.append((node.lineno, node.end_lineno))
+        return ranges
+
+    def _violation(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "toarray",
+            "todense",
+        ):
+            return (
+                f".{func.attr}() densifies a sparse operand in the scaled "
+                "pipeline; use dense_plan()/sparse-aware metrics, or "
+                "suppress at a size-guarded fallback"
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "asarray"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "np"
+            and node.args
+            and _names_adjacency(node.args[0])
+        ):
+            return (
+                "np.asarray over an adjacency densifies a CSR matrix in "
+                "the scaled pipeline; keep the computation sparse"
+            )
+        return None

@@ -1,0 +1,162 @@
+"""The ``guarded-by`` rule: declared shared state only moves under its lock.
+
+Declaration syntax — a structured comment on the ``__init__`` line
+that first assigns the attribute::
+
+    self._items: deque[Job] = deque()  #: guarded-by: _lock, _not_empty
+
+means every read or write of ``self._items`` anywhere else in the
+class must happen lexically inside a ``with self._lock:`` (or
+``with self._not_empty:``) block.  Several lock names may be declared
+when aliases guard the same state — a :class:`threading.Condition`
+built over the lock is the canonical case.
+
+A method whose *caller* is contractually required to hold the lock
+opts out per method::
+
+    def _store(self, key, bases) -> None:  #: requires: _lock
+
+The rule then treats the lock as held for the whole body (the runtime
+:mod:`repro.analysis.racecheck` harness covers the callers
+dynamically, so the static escape hatch stays honest).
+
+``__init__`` itself is exempt: construction happens before the object
+is shared.  The analysis is lexical by design — it does not chase
+calls, so helper methods touching guarded state need either an inline
+``with`` or a ``#: requires:`` contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Module, Rule
+
+
+def _with_guard_names(node: ast.With) -> list[str]:
+    """Lock attribute names entered by a ``with`` statement."""
+    names = []
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            names.append(expr.attr)
+    return names
+
+
+class _MethodChecker(ast.NodeVisitor):
+    """Walks one method body tracking the active ``with self.<lock>:`` set."""
+
+    def __init__(self, rule, module, class_name, declared, preheld):
+        self.rule = rule
+        self.module = module
+        self.class_name = class_name
+        self.declared = declared  # attr -> frozenset of lock names
+        self.guards: list[str] = list(preheld)
+        self.findings: list[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        entered = _with_guard_names(node)
+        self.guards.extend(entered)
+        self.generic_visit(node)
+        del self.guards[len(self.guards) - len(entered):]
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.declared
+        ):
+            locks = self.declared[node.attr]
+            if not locks.intersection(self.guards):
+                want = " or ".join(sorted(locks))
+                self.findings.append(
+                    Finding(
+                        path=self.module.path,
+                        line=node.lineno,
+                        rule_id=self.rule.rule_id,
+                        message=(
+                            f"{self.class_name}.{node.attr} is declared "
+                            f"guarded-by {want} but is accessed without "
+                            f"holding it (wrap in `with self.{sorted(locks)[0]}:` "
+                            "or declare `#: requires:` on the method)"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+
+class GuardedByRule(Rule):
+    rule_id = "guarded-by"
+    description = (
+        "attributes declared `#: guarded-by: <lock>` may only be accessed "
+        "inside `with self.<lock>:` (or a method marked `#: requires: <lock>`)"
+    )
+
+    def check(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _declarations(
+        self, module: Module, cls: ast.ClassDef
+    ) -> dict[str, frozenset[str]]:
+        """``attr -> lock names`` from the class's ``__init__`` body."""
+        declared: dict[str, frozenset[str]] = {}
+        for method in cls.body:
+            if (
+                not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or method.name != "__init__"
+            ):
+                continue
+            for stmt in ast.walk(method):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    spec = module.marker(stmt, "guarded-by")
+                    if spec:
+                        declared[target.attr] = frozenset(
+                            name.strip()
+                            for name in spec.split(",")
+                            if name.strip()
+                        )
+        return declared
+
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> list[Finding]:
+        declared = self._declarations(module, cls)
+        if not declared:
+            return []
+        findings: list[Finding] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction precedes sharing
+            requires = module.marker(method, "requires")
+            preheld = (
+                [name.strip() for name in requires.split(",") if name.strip()]
+                if requires
+                else []
+            )
+            checker = _MethodChecker(
+                self, module, cls.name, declared, preheld
+            )
+            for stmt in method.body:
+                checker.visit(stmt)
+            findings.extend(checker.findings)
+        return findings

@@ -1,0 +1,327 @@
+"""Runtime race/lock-order detector for the concurrency tests.
+
+The static ``guarded-by`` rule checks the lexical discipline; this
+module checks the *dynamic* one.  A :class:`RaceRegistry` hands out
+instrumented drop-in replacements for :class:`threading.Lock` and
+:class:`threading.Condition` that record, per thread, which locks are
+held while each new lock is acquired.  From that acquisition graph it
+reports:
+
+* **lock-order inversions** — lock ``B`` acquired under ``A`` in one
+  place and ``A`` acquired under ``B`` in another (the classic
+  two-thread deadlock shape), including longer cycles through three or
+  more locks;
+* **unguarded accesses** — reads/writes of attributes registered via
+  :meth:`RaceRegistry.guard` while the declared lock is not held by
+  the accessing thread (the runtime mirror of the static rule: it
+  covers call-chains the lexical checker cannot see).
+
+Usage in a test::
+
+    registry = RaceRegistry()
+    with registry.instrument(repro.engine.planning, repro.serve.jobs):
+        cache = PlanCache()           # built with instrumented locks
+        registry.guard(cache, ("_entries", "_bytes"), cache._lock)
+        ... hammer from threads ...
+    registry.assert_clean()
+
+:meth:`RaceRegistry.instrument` swaps each module's ``threading``
+global for a proxy whose ``Lock``/``Condition`` factories return
+instrumented objects; everything else passes through, so only objects
+constructed inside the ``with`` block are tracked.  Inversions are
+recorded the moment the *second* ordering is observed — the threads do
+not need to actually deadlock for the finding to fire, which is what
+makes the detector usable from fast deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+_get_ident = threading.get_ident
+_RealLock = threading.Lock
+_RealCondition = threading.Condition
+
+
+@dataclass(frozen=True)
+class LockOrderFinding:
+    """One observed inversion (or longer cycle) in the acquisition graph."""
+
+    cycle: tuple[str, ...]
+
+    def format(self) -> str:
+        path = " -> ".join(self.cycle + (self.cycle[0],))
+        return f"lock-order inversion: {path}"
+
+
+@dataclass(frozen=True)
+class UnguardedAccessFinding:
+    """One access to a guarded attribute without its lock held."""
+
+    label: str
+    attr: str
+    operation: str
+
+    def format(self) -> str:
+        return (
+            f"unguarded {self.operation} of {self.label}.{self.attr} "
+            "without its declared lock held"
+        )
+
+
+class RaceCheckError(AssertionError):
+    """Raised by :meth:`RaceRegistry.assert_clean` when findings exist."""
+
+
+class InstrumentedLock:
+    """A :class:`threading.Lock` that reports acquisitions to a registry.
+
+    Implements the full lock protocol :class:`threading.Condition`
+    relies on (including ``_is_owned``, answered exactly from the
+    recorded owner instead of the stdlib's acquire-probe fallback), so
+    a condition built over an instrumented lock behaves identically to
+    one over a plain lock — ``wait()`` releases and re-acquires
+    through the instrumented path and the held-set stays truthful.
+    """
+
+    def __init__(self, registry: "RaceRegistry", name: str):
+        self._registry = registry
+        self._lock = _RealLock()
+        self.name = name
+        self._owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._registry._before_acquire(self)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = _get_ident()
+            self._registry._on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._registry._on_release(self)
+        self._owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def _is_owned(self) -> bool:
+        """Whether the *current thread* holds this lock."""
+        return self._owner == _get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self.locked() else "unlocked"
+        return f"<InstrumentedLock {self.name} {state}>"
+
+
+class _ThreadingProxy:
+    """Stand-in for a module's ``threading`` global during instrumentation.
+
+    ``Lock`` and ``Condition`` come from the registry; every other
+    attribute (``Thread``, ``Event``, ``local``, ...) resolves to the
+    real module, so instrumented code keeps its exact semantics.
+    """
+
+    def __init__(self, registry: "RaceRegistry"):
+        self._registry = registry
+
+    def Lock(self):
+        return self._registry.lock()
+
+    def Condition(self, lock=None):
+        return self._registry.condition(lock)
+
+    def __getattr__(self, name):
+        return getattr(threading, name)
+
+
+class RaceRegistry:
+    """Collects the acquisition graph and access findings for one test."""
+
+    def __init__(self):
+        self._meta = _RealLock()
+        self._held = threading.local()
+        # (id(a), id(b)) -> (a.name, b.name): "b acquired while a held"
+        self._edges: dict[tuple[int, int], tuple[str, str]] = {}
+        self._inversions: dict[frozenset[int], LockOrderFinding] = {}
+        self._unguarded: dict[tuple[str, str, str], UnguardedAccessFinding] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # factories
+    def lock(self, name: str | None = None) -> InstrumentedLock:
+        with self._meta:
+            self._counter += 1
+            label = name or f"lock#{self._counter}"
+        return InstrumentedLock(self, label)
+
+    def condition(self, lock=None, name: str | None = None):
+        """A real :class:`threading.Condition` over an instrumented lock."""
+        if lock is None:
+            lock = self.lock(name)
+        if not isinstance(lock, InstrumentedLock):
+            raise TypeError(
+                "racecheck conditions must wrap an InstrumentedLock "
+                f"(got {type(lock).__name__})"
+            )
+        return _RealCondition(lock)
+
+    # ------------------------------------------------------------------
+    # acquisition bookkeeping
+    def _held_stack(self) -> list[InstrumentedLock]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _before_acquire(self, lock: InstrumentedLock) -> None:
+        held = self._held_stack()
+        if not held:
+            return
+        with self._meta:
+            for prior in held:
+                if prior is lock:
+                    continue
+                edge = (id(prior), id(lock))
+                if edge not in self._edges:
+                    self._edges[edge] = (prior.name, lock.name)
+                    self._check_cycle(lock)
+
+    def _on_acquired(self, lock: InstrumentedLock) -> None:
+        self._held_stack().append(lock)
+
+    def _on_release(self, lock: InstrumentedLock) -> None:
+        held = self._held_stack()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is lock:
+                del held[index]
+                return
+
+    def _check_cycle(self, lock: InstrumentedLock) -> None:
+        """DFS from ``lock`` under ``_meta``: a path back to ``lock``
+        through the observed must-follow edges is an inversion."""
+        adjacency: dict[int, list[tuple[int, str, str]]] = {}
+        for (a, b), (name_a, name_b) in self._edges.items():
+            adjacency.setdefault(a, []).append((b, name_a, name_b))
+        start = id(lock)
+        stack: list[tuple[int, tuple[int, ...], tuple[str, ...]]] = [
+            (start, (start,), (lock.name,))
+        ]
+        while stack:
+            node, path, names = stack.pop()
+            for successor, _, succ_name in adjacency.get(node, ()):
+                if successor == start and len(path) > 1:
+                    key = frozenset(path)
+                    if key not in self._inversions:
+                        self._inversions[key] = LockOrderFinding(cycle=names)
+                elif successor not in path:
+                    stack.append(
+                        (successor, path + (successor,), names + (succ_name,))
+                    )
+
+    # ------------------------------------------------------------------
+    # guarded-object access checking
+    def guard(self, obj, attrs, lock: InstrumentedLock, label: str | None = None):
+        """Monitor ``obj``'s ``attrs``: any touch without ``lock`` held
+        by the accessing thread is recorded as a finding.
+
+        Implemented by swapping the instance onto a dynamically-created
+        subclass whose ``__getattribute__``/``__setattr__`` consult the
+        lock's recorded owner — zero cost for unregistered attributes
+        beyond one set-membership test.
+        """
+        if not isinstance(lock, InstrumentedLock):
+            raise TypeError("guard() needs an InstrumentedLock")
+        monitored = frozenset(attrs)
+        registry = self
+        display = label or type(obj).__name__
+        base = type(obj)
+
+        class _Guarded(base):
+            def __getattribute__(self, name):
+                if name in monitored and not lock._is_owned():
+                    registry._record_unguarded(display, name, "read")
+                return super().__getattribute__(name)
+
+            def __setattr__(self, name, value):
+                if name in monitored and not lock._is_owned():
+                    registry._record_unguarded(display, name, "write")
+                super().__setattr__(name, value)
+
+        _Guarded.__name__ = base.__name__
+        _Guarded.__qualname__ = base.__qualname__
+        obj.__class__ = _Guarded
+        return obj
+
+    def _record_unguarded(self, label: str, attr: str, operation: str) -> None:
+        key = (label, attr, operation)
+        with self._meta:
+            if key not in self._unguarded:
+                self._unguarded[key] = UnguardedAccessFinding(
+                    label=label, attr=attr, operation=operation
+                )
+
+    # ------------------------------------------------------------------
+    # module instrumentation
+    def instrument(self, *modules):
+        """Context manager: swap each module's ``threading`` global for
+        the instrumented proxy, restoring it on exit."""
+        return _Instrumentation(self, modules)
+
+    # ------------------------------------------------------------------
+    # reporting
+    def findings(self) -> list:
+        with self._meta:
+            return sorted(self._inversions.values(), key=lambda f: f.cycle) + sorted(
+                self._unguarded.values(),
+                key=lambda f: (f.label, f.attr, f.operation),
+            )
+
+    def assert_clean(self) -> None:
+        findings = self.findings()
+        if findings:
+            report = "\n".join(f"  {finding.format()}" for finding in findings)
+            raise RaceCheckError(
+                f"racecheck recorded {len(findings)} finding(s):\n{report}"
+            )
+
+
+class _Instrumentation:
+    def __init__(self, registry: RaceRegistry, modules):
+        self.registry = registry
+        self.modules = modules
+        self._saved: list[tuple[object, object]] = []
+
+    def __enter__(self) -> RaceRegistry:
+        proxy = _ThreadingProxy(self.registry)
+        for module in self.modules:
+            if not hasattr(module, "threading"):
+                raise AttributeError(
+                    f"{module.__name__} has no module-level `threading` "
+                    "to instrument"
+                )
+            self._saved.append((module, module.threading))
+            module.threading = proxy
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for module, original in self._saved:
+            module.threading = original
+        self._saved.clear()
+
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderFinding",
+    "RaceCheckError",
+    "RaceRegistry",
+    "UnguardedAccessFinding",
+]

@@ -1,0 +1,174 @@
+"""The ``unused-name`` rule: dead imports and never-read locals.
+
+A deliberately small hygiene rule — the project-specific rules carry
+the correctness contracts; this one just keeps the tree free of the
+dead names that accumulate while refactoring.  Two checks:
+
+* **module-level imports** never referenced anywhere in the module
+  (names re-exported via ``__all__`` count as referenced; package
+  ``__init__.py`` files are skipped entirely — re-export is their
+  job — and dotted side-effect imports like
+  ``import scipy.sparse.linalg`` are exempt);
+* **function locals** assigned through a simple name and never loaded
+  anywhere in the function (nested scopes included).  Underscore-
+  prefixed names, tuple-unpacking targets and augmented assignments
+  are exempt — those encode intent, not oversight.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Module, Rule
+
+
+def _all_exports(tree: ast.Module) -> set[str]:
+    exports: set[str] = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    exports.add(element.value)
+    return exports
+
+
+def _loaded_names(tree: ast.AST) -> set[str]:
+    loaded: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Load, ast.Del)
+        ):
+            loaded.add(node.id)
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            loaded.add(node.value.id)
+    return loaded
+
+
+class UnusedNameRule(Rule):
+    rule_id = "unused-name"
+    description = "dead module imports and function locals that are never read"
+
+    def check(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_imports(module))
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_locals(module, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_imports(self, module: Module) -> list[Finding]:
+        if module.rel.endswith("__init__.py"):
+            return []
+        used = _loaded_names(module.tree) | _all_exports(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                bindings = [
+                    (alias.asname or alias.name.split(".")[0], alias)
+                    for alias in node.names
+                    # dotted import without alias: side-effect /
+                    # namespace registration, binds the root package
+                    if not ("." in alias.name and alias.asname is None)
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                bindings = [
+                    (alias.asname or alias.name, alias)
+                    for alias in node.names
+                    if alias.name != "*"
+                ]
+            else:
+                continue
+            for name, _alias in bindings:
+                if name not in used and not name.startswith("_"):
+                    findings.append(
+                        Finding(
+                            path=module.path,
+                            line=node.lineno,
+                            rule_id=self.rule_id,
+                            message=f"import {name!r} is never used",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _own_scope(func) -> list[ast.AST]:
+        """Nodes of the function's own scope (nested scopes excluded).
+
+        Loads are collected over the *whole* subtree (closures read
+        outer locals) but stores only bind in their own scope, so a
+        nested function's dead local is reported once, against the
+        nested function.
+        """
+        nodes: list[ast.AST] = []
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if not isinstance(
+                node,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                    ast.Lambda,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.DictComp,
+                    ast.GeneratorExp,
+                ),
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+        return nodes
+
+    def _check_locals(
+        self, module: Module, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Finding]:
+        loaded = _loaded_names(func)
+        stores: dict[str, int] = {}
+        for node in self._own_scope(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        stores.setdefault(target.id, node.lineno)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    stores.setdefault(node.target.id, node.lineno)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.target, ast.Name):
+                    stores.setdefault(node.target.id, node.lineno)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        stores.setdefault(
+                            item.optional_vars.id, node.lineno
+                        )
+        return [
+            Finding(
+                path=module.path,
+                line=line,
+                rule_id=self.rule_id,
+                message=(
+                    f"local {name!r} is assigned but never read in "
+                    f"{func.name}()"
+                ),
+            )
+            for name, line in sorted(stores.items(), key=lambda kv: kv[1])
+            if name not in loaded and not name.startswith("_")
+        ]

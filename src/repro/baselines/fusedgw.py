@@ -8,8 +8,6 @@ feature-space misalignment — the fragility SLOTAlign removes.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.base import Aligner, pad_features_to_common_dim
 from repro.exceptions import GraphError
 from repro.graphs.graph import AttributedGraph

@@ -8,8 +8,6 @@ structure noise, per Fig. 3/6.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.base import Aligner
 from repro.graphs.graph import AttributedGraph
 from repro.ot.gromov import proximal_gromov_wasserstein

@@ -26,7 +26,7 @@ from repro.gnn.gcn import GCN, dense_normalized_adjacency
 from repro.gnn.propagation import sgc_propagate
 from repro.graphs.graph import AttributedGraph
 from repro.graphs.normalization import row_normalize
-from repro.utils.random import check_random_state, spawn_seeds
+from repro.utils.random import check_random_state
 
 
 class MultiKEAligner(Aligner):

@@ -7,8 +7,6 @@ motivation figure (Fig. 3) exhibits.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.base import (
     Aligner,
     cosine_similarity_matrix,

@@ -19,6 +19,11 @@ Commands
     burst and print the service-level report: pairs/sec, plan-cache
     hit rate, p50/p99 latency, coalescing counters and the bitwise
     fidelity check against a direct engine run.
+``lint``
+    Run the project static-analysis rules (:mod:`repro.analysis`) over
+    the package tree: guarded-by, pinned-path, no-densify and
+    unused-name.  Exits non-zero on any finding; ``--update-pins``
+    deliberately regenerates the bitwise-pin fingerprints.
 ``experiments``
     Alias for ``python -m repro.experiments`` (see that module).
 
@@ -254,6 +259,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--scale", type=float, default=0.05)
     serve.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project static-analysis rules (CI gate)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package; "
+        "stale-pin verification only runs on full-tree lints)",
+    )
+    lint.add_argument(
+        "--update-pins", action="store_true",
+        help="regenerate src/repro/analysis/pins.json from the tree's "
+        "`#: pinned` markers (a deliberate re-pin), then lint",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
     return parser
 
 
@@ -355,6 +379,42 @@ def _run_serve(args) -> int:
     return 0 if report["single_pair_bitwise_equal"] else 1
 
 
+def _run_lint(args) -> int:
+    # lazy import: the analysis stack is only needed by this subcommand
+    from pathlib import Path
+
+    from repro.analysis import default_rules, run_lint, update_pins
+    from repro.analysis.pins import PinnedPathRule
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id:16s} {rule.description}")
+        return 0
+    if args.update_pins:
+        pins = update_pins()
+        print(f"pinned {len(pins)} definitions -> src/repro/analysis/pins.json")
+    roots = [Path(p) for p in args.paths] or [None]
+    findings = []
+    for root in roots:
+        rules = default_rules()
+        if root is not None:
+            # partial-tree runs cannot tell a stale pin from an unseen one
+            rules = [
+                PinnedPathRule(check_stale=False)
+                if isinstance(rule, PinnedPathRule)
+                else rule
+                for rule in rules
+            ]
+        findings.extend(run_lint(root=root, rules=rules))
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s)")
+        return 1
+    print("repro lint: clean")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -373,6 +433,8 @@ def main(argv=None) -> int:
         return _run_engine(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "lint":
+        return _run_lint(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -106,7 +106,7 @@ class JointObjective:
         self._product_cache: dict[tuple, dict] = {}
 
     # ------------------------------------------------------------------
-    def combined(self, beta_s: np.ndarray, beta_t: np.ndarray):
+    def combined(self, beta_s: np.ndarray, beta_t: np.ndarray):  #: pinned
         """``(D_s, D_t)`` for the given weights (cached; read-only)."""
         beta_s = np.asarray(beta_s, dtype=np.float64)
         beta_t = np.asarray(beta_t, dtype=np.float64)
@@ -144,7 +144,7 @@ class JointObjective:
 
     def value(
         self, plan: np.ndarray, beta_s: np.ndarray, beta_t: np.ndarray
-    ) -> float:
+    ) -> float:  #: pinned
         """Objective value ``F(π, β_s, β_t)``."""
         d_s, d_t = self.combined(beta_s, beta_t)
         term_s = float(beta_s @ self.gram_source @ beta_s) / self.n**2
@@ -161,8 +161,13 @@ class JointObjective:
 
     def plan_gradient(
         self, plan: np.ndarray, beta_s: np.ndarray, beta_t: np.ndarray
-    ) -> np.ndarray:
-        """``∂F/∂π`` at the current iterate."""
+    ) -> np.ndarray:  #: pinned
+        """``∂F/∂π`` at the current iterate.
+
+        The fused-contraction core is **bitwise-pinned** (``repro
+        lint``): divergent numeric variants register a new solver
+        backend instead of editing this path.
+        """
         d_s, d_t = self.combined(beta_s, beta_t)
         memo = self._products(plan, beta_s, beta_t)
         if self.fused:
@@ -184,7 +189,7 @@ class JointObjective:
 
     def alpha_gradient(
         self, plan: np.ndarray, beta_s: np.ndarray, beta_t: np.ndarray
-    ) -> np.ndarray:
+    ) -> np.ndarray:  #: pinned
         """Concatenated gradient ``[∂F/∂β_s, ∂F/∂β_t]``."""
         d_s, d_t = self.combined(beta_s, beta_t)
         memo = self._products(plan, beta_s, beta_t)

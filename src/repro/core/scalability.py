@@ -11,12 +11,45 @@ should import from :mod:`repro.scale`.
 
 from __future__ import annotations
 
+import sys
 import warnings
+
+
+def _import_site_stacklevel() -> int:
+    """Stacklevel pointing the warning at whoever imported this module.
+
+    A module-level ``warnings.warn`` fires underneath frames of import
+    machinery.  ``warnings`` itself skips the frozen
+    ``importlib._bootstrap`` frames when resolving ``stacklevel``, but
+    *not* ``importlib/__init__.py`` — so a fixed ``stacklevel=2``
+    blames ``importlib.import_module`` when the import goes through it
+    (as :func:`importlib.reload` and dynamic importers do).  Walk the
+    stack counting frames exactly as ``warnings`` will (ignoring the
+    natively-skipped bootstrap frames) until the first frame outside
+    ``importlib`` — the import site the deprecation should name.
+    """
+    level = 1  # stacklevel=1 == this module's body (the warn caller)
+    try:
+        # frame 0 = this helper, 1 = module body, 2.. = import machinery
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - module body is outermost
+        return 1
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        natively_skipped = "importlib" in filename and "_bootstrap" in filename
+        if not natively_skipped:
+            level += 1
+            module_name = frame.f_globals.get("__name__", "")
+            if not module_name.startswith("importlib"):
+                break  # the import site
+        frame = frame.f_back
+    return level
+
 
 warnings.warn(
     "repro.core.scalability is deprecated; import from repro.scale instead",
     DeprecationWarning,
-    stacklevel=2,
+    stacklevel=_import_site_stacklevel(),
 )
 
 from repro.scale.aligner import (  # noqa: E402

@@ -29,7 +29,9 @@ import numpy as np
 from repro.core.config import SLOTAlignConfig
 from repro.core.convergence import IterateHistory
 from repro.core.result import AlignmentResult
-from repro.engine.planning import feature_similarity_plan  # noqa: F401  (re-export)
+from repro.engine.planning import (  # noqa: F401  # repro-lint: ignore[unused-name]
+    feature_similarity_plan,  # re-exported via repro.core
+)
 from repro.graphs.graph import AttributedGraph
 
 

@@ -40,7 +40,6 @@ from repro.graphs.generators import (
     powerlaw_cluster_graph,
     random_bipartite_expansion,
 )
-from repro.graphs.graph import AttributedGraph
 from repro.graphs.permutation import permute_graph
 from repro.graphs.perturbation import drop_edges, perturb_edges
 from repro.utils.random import check_random_state, spawn_seeds

@@ -169,8 +169,13 @@ class _LockstepPortfolio:
             np.stack([d_t for _, d_t in pairs]),
         )
 
-    def _step_all(self, active: list[_BatchedRun]) -> None:
-        """One outer iteration of Algorithm 1 for every live restart."""
+    def _step_all(self, active: list[_BatchedRun]) -> None:  #: pinned
+        """One outer iteration of Algorithm 1 for every live restart.
+
+        Bitwise-pinned (``repro lint``): this is the lockstep update
+        whose per-slice results must stay bit-for-bit equal to the
+        serial ``fused-dense`` path.
+        """
         cfg = self.config
         iteration = active[0].iteration
         step_start = time.perf_counter()
@@ -300,7 +305,7 @@ class _LockstepPortfolio:
         alpha: np.ndarray,
         transported_t: np.ndarray,
         transported_s: np.ndarray,
-    ) -> np.ndarray:
+    ) -> np.ndarray:  #: pinned
         """Per-restart α-gradient assembly (Eq. 11 right-hand side).
 
         Mirrors ``JointObjective.alpha_gradient`` exactly, with the

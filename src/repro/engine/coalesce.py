@@ -31,8 +31,6 @@ problem; pairs may differ in content, features and initial coupling.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.objective import JointObjective
 from repro.engine.batched import _BatchedRun, _LockstepPortfolio
 from repro.engine.planning import PreparedProblem

@@ -158,20 +158,22 @@ class PlanCache:
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.max_bytes = max_bytes
-        self._entries: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()
-        self._bytes = 0
         self._lock = threading.Lock()
-        self._in_flight: dict[tuple, _InFlightBuild] = {}
-        self.hits = 0
-        self.misses = 0
-        self.builds = 0
+        self._entries: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()  #: guarded-by: _lock
+        self._bytes = 0  #: guarded-by: _lock
+        self._in_flight: dict[tuple, _InFlightBuild] = {}  #: guarded-by: _lock
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
+        self.builds = 0  #: guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def nbytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def bases_for(
         self, graph: AttributedGraph, config: SLOTAlignConfig
@@ -246,7 +248,7 @@ class PlanCache:
                 "builds": self.builds,
             }
 
-    def _store(self, key: tuple, bases: list[np.ndarray]) -> None:
+    def _store(self, key: tuple, bases: list[np.ndarray]) -> None:  #: requires: _lock
         """Insert under the held lock, evicting LRU past the budget.
 
         Arrays must already be frozen by the caller (the single-flight

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.datasets.pairs import AlignmentPair, make_semi_synthetic_pair
 from repro.engine.evaluate import evaluate_alignment
 from repro.graphs.graph import AttributedGraph

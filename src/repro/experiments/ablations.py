@@ -13,14 +13,11 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
-
 from repro.autodiff.optim import Adam
 from repro.autodiff.tensor import Tensor
 from repro.core import SLOTAlign, SLOTAlignConfig
 from repro.core.result import AlignmentResult
 from repro.core.slotalign import SLOTAlign as _SLOTAlign
-from repro.core.views import normalize_basis
 from repro.exceptions import GraphError
 from repro.experiments.config import (
     ExperimentScale,

@@ -25,7 +25,7 @@ from repro.core import SLOTAlignConfig
 from repro.datasets import load_graph_dataset, make_semi_synthetic_pair
 from repro.engine import AlignmentEngine, PlanCache
 from repro.scale import available_cpus
-from repro.serve import AlignmentService, JobState, wait_all
+from repro.serve import AlignmentService, wait_all
 
 
 def serve_config(iters: int = 25) -> SLOTAlignConfig:

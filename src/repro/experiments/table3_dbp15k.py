@@ -22,8 +22,6 @@ embed-and-cross-compare baselines depend entirely on that agreement.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines import (
     EVAAligner,
     GCNAlignAligner,

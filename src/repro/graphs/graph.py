@@ -159,8 +159,6 @@ class AttributedGraph:
     @classmethod
     def from_networkx(cls, nx_graph, features=None, name="graph") -> "AttributedGraph":
         """Build from a :mod:`networkx` graph (node order = sorted nodes)."""
-        import networkx as nx
-
         nodes = sorted(nx_graph.nodes())
         index = {v: i for i, v in enumerate(nodes)}
         edges = [(index[u], index[v]) for u, v in nx_graph.edges() if u != v]

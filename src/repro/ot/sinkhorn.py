@@ -190,8 +190,14 @@ def sinkhorn_log_kernel_fast(
     nu: np.ndarray,
     max_iter: int = 50,
     tol: float = 0.0,
-) -> SinkhornResult:
+) -> SinkhornResult:  #: pinned
     """Fast projection of ``exp(log_kernel)`` onto ``Π(μ, ν)``.
+
+    .. note:: **bitwise-pinned** — the serial/batched/coalesced solver
+       equivalence and the committed benchmark baselines depend on this
+       exact instruction sequence; ``repro lint`` fails on any semantic
+       edit.  Register a divergent variant under a new solver backend
+       instead (see ``repro.analysis.pins``).
 
     Row-shifts the log kernel by its row maxima (a rank-one factor that
     the scaling vector ``u`` absorbs exactly), exponentiates **once**,
@@ -256,7 +262,7 @@ def sinkhorn_log_kernel_fast_batched(
     nu: np.ndarray,
     max_iter: int = 50,
     tol: float = 0.0,
-) -> list[SinkhornResult]:
+) -> list[SinkhornResult]:  #: pinned
     """Batched :func:`sinkhorn_log_kernel_fast` over a kernel stack.
 
     Projects every slice of the ``(R, n, m)`` stack onto ``Π(μ, ν)``

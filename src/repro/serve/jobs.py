@@ -127,10 +127,10 @@ class JobQueue:
     """Thread-safe FIFO of jobs with selective batch extraction."""
 
     def __init__(self):
-        self._items: deque[Job] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        self._closed = False
+        self._items: deque[Job] = deque()  #: guarded-by: _lock, _not_empty
+        self._closed = False  #: guarded-by: _lock, _not_empty
 
     def __len__(self) -> int:
         with self._lock:
@@ -138,7 +138,8 @@ class JobQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def put(self, job: Job) -> None:
         """Append a job; wakes one blocked ``get``."""

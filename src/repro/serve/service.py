@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.core.config import SLOTAlignConfig
 from repro.engine.backends import DEFAULT_BACKEND, backend_kind, get_backend
-from repro.engine.coalesce import coalescible, solve_coalesced
+from repro.engine.coalesce import solve_coalesced
 from repro.engine.evaluate import evaluate_alignment
 from repro.engine.pipeline import EngineRun
 from repro.engine.planning import (
@@ -116,9 +116,10 @@ class AlignmentService:
         self.max_batch = max_batch
         self.evaluate_ks = tuple(evaluate_ks)
         self._queue = JobQueue()
-        self._threads: list[threading.Thread] = []
+        self._lifecycle_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []  #: guarded-by: _lifecycle_lock
         self._stats_lock = threading.Lock()
-        self._counters = {
+        self._counters = {  #: guarded-by: _stats_lock
             "submitted": 0,
             "completed": 0,
             "failed": 0,
@@ -127,32 +128,40 @@ class AlignmentService:
             "coalesced_pairs": 0,
             "solo_pairs": 0,
         }
-        self._latencies: list[float] = []
+        self._latencies: list[float] = []  #: guarded-by: _stats_lock
 
     # ------------------------------------------------------------------
     # lifecycle
     def start(self) -> "AlignmentService":
-        """Start the worker pool (idempotent)."""
-        if self._queue.closed:
-            raise QueueClosed("service has been stopped")
-        if self._threads:
-            return self
-        for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker_loop,
-                name=f"align-serve-{index}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+        """Start the worker pool (idempotent, and safe to race: two
+        threads calling ``start`` concurrently spawn one pool)."""
+        with self._lifecycle_lock:
+            if self._queue.closed:
+                raise QueueClosed("service has been stopped")
+            if self._threads:
+                return self
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"align-serve-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
         return self
 
     def stop(self) -> None:
-        """Graceful shutdown: drain queued jobs, then join the workers."""
-        self._queue.close()
-        for thread in self._threads:
-            thread.join()
-        self._threads.clear()
+        """Graceful shutdown: drain queued jobs, then join the workers.
+
+        Holding the lifecycle lock across the join is safe — workers
+        never touch it — and makes concurrent ``stop``/``start`` calls
+        serialize instead of racing the pool bookkeeping.
+        """
+        with self._lifecycle_lock:
+            self._queue.close()
+            for thread in self._threads:
+                thread.join()
+            self._threads.clear()
 
     def __enter__(self) -> "AlignmentService":
         return self.start()

@@ -1,0 +1,446 @@
+"""Tests for the project lint subsystem (repro.analysis).
+
+Covers the acceptance contract of the static-analysis PR:
+
+* the committed tree lints clean with the default rule set,
+* every rule fires on a seeded violation (synthetic modules),
+* mutating a bitwise-pinned function trips the fingerprint rule while
+  doc/formatting-only edits do not,
+* ``pins.json`` matches the tree (the CI invariant),
+* inline suppression and the CLI exit-code surface behave as
+  documented.
+"""
+
+import ast
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import iter_modules, run_lint, update_pins
+from repro.analysis.core import (
+    PACKAGE_ROOT,
+    Finding,
+    LintError,
+    Module,
+    qualname_walk,
+)
+from repro.analysis.densify import NoDensifyRule
+from repro.analysis.guards import GuardedByRule
+from repro.analysis.pins import (
+    PinnedPathRule,
+    collect_pinned,
+    fingerprint,
+    load_pins,
+)
+from repro.analysis.unused import UnusedNameRule
+from repro.cli import main
+
+
+def module(source: str, rel: str = "core/x.py") -> Module:
+    return Module(f"src/repro/{rel}", source, rel)
+
+
+GUARDED_CLASS = '''
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self.count = 0  #: guarded-by: _lock, _not_empty
+        self.plain = 0
+
+    def read_unguarded(self):
+        return self.count
+
+    def read_guarded(self):
+        with self._lock:
+            return self.count
+
+    def read_via_alias(self):
+        with self._not_empty:
+            return self.count
+
+    def touch_plain(self):
+        return self.plain
+
+    def helper(self):  #: requires: _lock
+        self.count += 1
+'''
+
+
+class TestTreeContract:
+    def test_full_tree_lints_clean(self):
+        findings = run_lint()
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_pins_match_tree(self):
+        """The CI invariant: committed pins.json == regenerated pins."""
+        committed = load_pins()
+        current = {
+            qual: digest
+            for qual, (digest, _, _) in collect_pinned(iter_modules()).items()
+        }
+        assert committed == current
+
+    def test_contract_paths_are_pinned(self):
+        pins = load_pins()
+        for expected in (
+            "ot/sinkhorn.py::sinkhorn_log_kernel_fast",
+            "ot/sinkhorn.py::sinkhorn_log_kernel_fast_batched",
+            "engine/batched.py::_LockstepPortfolio._step_all",
+            "core/objective.py::JointObjective.plan_gradient",
+        ):
+            assert expected in pins, f"missing pin for {expected}"
+
+    def test_declared_guards_exist_in_tree(self):
+        """The serve/engine shared state actually carries declarations."""
+        sources = {
+            "serve/jobs.py": "#: guarded-by: _lock, _not_empty",
+            "serve/service.py": "#: guarded-by: _stats_lock",
+            "engine/planning.py": "#: guarded-by: _lock",
+        }
+        for rel, marker in sources.items():
+            text = (PACKAGE_ROOT / rel).read_text(encoding="utf-8")
+            assert marker in text, f"{rel} lost its {marker!r} declaration"
+
+
+class TestGuardedByRule:
+    def check(self, source):
+        return run_lint(modules=[module(source)], rules=[GuardedByRule()])
+
+    def test_unguarded_access_flagged(self):
+        findings = self.check(GUARDED_CLASS)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "guarded-by"
+        assert "Counter.count" in findings[0].message
+        # the three guarded/contracted accesses and the undeclared
+        # attribute produce nothing
+        assert findings[0].line == GUARDED_CLASS.splitlines().index(
+            "        return self.count"
+        ) + 1
+
+    def test_alias_lock_counts_as_guard(self):
+        body = GUARDED_CLASS.replace(
+            "    def read_unguarded(self):\n        return self.count\n", ""
+        )
+        assert self.check(body) == []
+
+    def test_requires_marker_trusts_the_caller(self):
+        source = '''
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = {}  #: guarded-by: _lock
+
+    def mutate(self):  #: requires: _lock
+        self.state["k"] = 1
+'''
+        assert self.check(source) == []
+
+    def test_init_is_exempt(self):
+        source = '''
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = 0  #: guarded-by: _lock
+        self.state = self.state + 1
+'''
+        assert self.check(source) == []
+
+    def test_suppression_silences_the_finding(self):
+        source = GUARDED_CLASS.replace(
+            "        return self.count\n",
+            "        return self.count  # repro-lint: ignore[guarded-by]\n",
+            1,
+        )
+        assert self.check(source) == []
+
+
+PINNED_FUNC = '''
+def kernel(x):  #: pinned
+    """Docstring."""
+    total = 0
+    for item in x:
+        total += item * 2
+    return total
+'''
+
+
+class TestPinnedPathRule:
+    def write_tree(self, tmp_path, source):
+        target = tmp_path / "mod.py"
+        target.write_text(source, encoding="utf-8")
+        return target
+
+    def test_mutating_a_pinned_function_fires(self, tmp_path):
+        target = self.write_tree(tmp_path, PINNED_FUNC)
+        pins_path = tmp_path / "pins.json"
+        update_pins(root=tmp_path, pins_path=pins_path)
+
+        def lint():
+            return run_lint(
+                root=tmp_path,
+                rules=[PinnedPathRule(pins_path=pins_path, check_stale=False)],
+            )
+
+        assert lint() == []
+        target.write_text(
+            PINNED_FUNC.replace("item * 2", "item * 3"), encoding="utf-8"
+        )
+        findings = lint()
+        assert len(findings) == 1
+        assert findings[0].rule_id == "pinned-path"
+        assert "bitwise-pinned" in findings[0].message
+        assert "new solver backend" in findings[0].message
+
+    def test_doc_and_format_edits_keep_the_fingerprint(self, tmp_path):
+        target = self.write_tree(tmp_path, PINNED_FUNC)
+        pins_path = tmp_path / "pins.json"
+        update_pins(root=tmp_path, pins_path=pins_path)
+        reformatted = PINNED_FUNC.replace(
+            '"""Docstring."""', '"""A new, improved docstring."""'
+        ).replace("total += item * 2", "total += (item * 2)  # comment")
+        target.write_text(reformatted, encoding="utf-8")
+        assert (
+            run_lint(
+                root=tmp_path,
+                rules=[PinnedPathRule(pins_path=pins_path, check_stale=False)],
+            )
+            == []
+        )
+
+    def test_real_pinned_ast_mutation_changes_fingerprint(self):
+        """Mutate the committed fast-Sinkhorn AST; its hash must move
+        off the committed pin."""
+        modules = {m.rel: m for m in iter_modules()}
+        sinkhorn = modules["ot/sinkhorn.py"]
+        pinned = dict(qualname_walk(sinkhorn.tree))
+        node = pinned["sinkhorn_log_kernel_fast"]
+        committed = load_pins()["ot/sinkhorn.py::sinkhorn_log_kernel_fast"]
+        assert fingerprint(node) == committed
+        mutated = copy.deepcopy(node)
+        mutated.body.append(ast.Pass())
+        assert fingerprint(mutated) != committed
+
+    def test_unpinned_marker_needs_a_committed_entry(self, tmp_path):
+        self.write_tree(tmp_path, PINNED_FUNC)
+        pins_path = tmp_path / "pins.json"  # never written
+        findings = run_lint(
+            root=tmp_path,
+            rules=[PinnedPathRule(pins_path=pins_path, check_stale=False)],
+        )
+        assert len(findings) == 1
+        assert "no entry" in findings[0].message
+
+    def test_stale_pin_detected_on_full_runs(self, tmp_path):
+        target = self.write_tree(tmp_path, PINNED_FUNC)
+        pins_path = tmp_path / "pins.json"
+        update_pins(root=tmp_path, pins_path=pins_path)
+        target.write_text("def kernel(x):\n    return x\n", encoding="utf-8")
+        findings = run_lint(
+            root=tmp_path, rules=[PinnedPathRule(pins_path=pins_path)]
+        )
+        assert len(findings) == 1
+        assert "stale pin" in findings[0].message
+
+    def test_update_pins_is_deterministic(self, tmp_path):
+        self.write_tree(tmp_path, PINNED_FUNC)
+        pins_path = tmp_path / "pins.json"
+        update_pins(root=tmp_path, pins_path=pins_path)
+        first = pins_path.read_bytes()
+        update_pins(root=tmp_path, pins_path=pins_path)
+        assert pins_path.read_bytes() == first
+        assert first.endswith(b"\n")
+        json.loads(first)  # well-formed
+
+
+class TestNoDensifyRule:
+    def check(self, source, rel):
+        return run_lint(
+            modules=[module(source, rel=rel)], rules=[NoDensifyRule()]
+        )
+
+    def test_toarray_flagged_in_scope(self):
+        source = "def f(plan):\n    return plan.toarray()\n"
+        for rel in ("scale/metrics.py", "engine/evaluate.py"):
+            findings = self.check(source, rel)
+            assert len(findings) == 1
+            assert findings[0].rule_id == "no-densify"
+
+    def test_out_of_scope_modules_are_ignored(self):
+        source = "def f(plan):\n    return plan.toarray()\n"
+        assert self.check(source, "core/objective.py") == []
+
+    def test_asarray_over_adjacency_flagged(self):
+        source = "import numpy as np\n\ndef f(graph):\n    return np.asarray(graph.adjacency)\n"
+        findings = self.check(source, "scale/x.py")
+        assert len(findings) == 1
+        assert "adjacency" in findings[0].message
+
+    def test_asarray_over_plain_operand_allowed(self):
+        source = "import numpy as np\n\ndef f(weights):\n    return np.asarray(weights)\n"
+        assert self.check(source, "scale/x.py") == []
+
+    def test_dense_plan_guard_site_is_allowlisted(self):
+        source = (
+            "class PartitionedAlignment:\n"
+            "    def dense_plan(self, force=False):\n"
+            "        return self.plan.toarray()\n"
+            "\n"
+            "    def other(self):\n"
+            "        return self.plan.toarray()\n"
+        )
+        findings = self.check(source, "scale/aligner.py")
+        assert len(findings) == 1  # only the non-guard method fires
+        assert findings[0].line == 6
+
+    def test_real_guard_site_and_suppression_hold(self):
+        """The tree's two densification points stay exactly as blessed."""
+        partition = (PACKAGE_ROOT / "scale/partition.py").read_text()
+        assert "# repro-lint: ignore[no-densify]" in partition
+        aligner_findings = [
+            f
+            for f in run_lint(rules=[NoDensifyRule()])
+            if f.path.endswith("aligner.py")
+        ]
+        assert aligner_findings == []
+
+
+class TestUnusedNameRule:
+    def check(self, source, rel="core/x.py"):
+        return run_lint(modules=[module(source, rel=rel)], rules=[UnusedNameRule()])
+
+    def test_dead_import_flagged(self):
+        findings = self.check("import os\n\nVALUE = 1\n")
+        assert len(findings) == 1
+        assert "'os'" in findings[0].message
+
+    def test_used_and_future_imports_pass(self):
+        source = (
+            "from __future__ import annotations\n"
+            "import os\n\n"
+            "def f():\n    return os.getpid()\n"
+        )
+        assert self.check(source) == []
+
+    def test_all_export_counts_as_use(self):
+        source = "from os import getpid\n\n__all__ = [\"getpid\"]\n"
+        assert self.check(source) == []
+
+    def test_package_init_is_exempt(self):
+        assert self.check("from os import getpid\n", rel="core/__init__.py") == []
+
+    def test_dotted_side_effect_import_is_exempt(self):
+        source = "import scipy.sparse.linalg\n\nVALUE = 1\n"
+        assert self.check(source) == []
+
+    def test_dead_local_flagged_once_against_its_scope(self):
+        source = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        dead = 1\n"
+            "        return 2\n"
+            "    return inner()\n"
+        )
+        findings = self.check(source)
+        assert len(findings) == 1
+        assert "inner()" in findings[0].message
+
+    def test_closure_reads_count_as_use(self):
+        source = (
+            "def outer():\n"
+            "    shared = 1\n"
+            "    def inner():\n"
+            "        return shared\n"
+            "    return inner()\n"
+        )
+        assert self.check(source) == []
+
+    def test_underscore_and_unpacking_are_exempt(self):
+        source = (
+            "def f(pairs):\n"
+            "    _scratch = 1\n"
+            "    a, b = pairs\n"
+            "    return a\n"
+        )
+        assert self.check(source) == []
+
+
+class TestSuppressionAndEngine:
+    def test_standalone_comment_applies_to_next_line(self):
+        source = (
+            "def f(plan):\n"
+            "    # repro-lint: ignore[no-densify]\n"
+            "    return plan.toarray()\n"
+        )
+        assert (
+            run_lint(
+                modules=[module(source, rel="scale/x.py")],
+                rules=[NoDensifyRule()],
+            )
+            == []
+        )
+
+    def test_wildcard_suppresses_every_rule(self):
+        source = "def f(plan):\n    return plan.toarray()  # repro-lint: ignore[*]\n"
+        assert (
+            run_lint(
+                modules=[module(source, rel="scale/x.py")],
+                rules=[NoDensifyRule()],
+            )
+            == []
+        )
+
+    def test_finding_format_is_clickable(self):
+        finding = Finding(
+            path="src/repro/serve/jobs.py", line=141,
+            rule_id="guarded-by", message="boom",
+        )
+        assert finding.format() == "src/repro/serve/jobs.py:141: [guarded-by] boom"
+
+    def test_marker_found_on_wrapped_signature(self):
+        source = (
+            "def kernel(\n"
+            "    x,\n"
+            "    y,\n"
+            "):  #: pinned\n"
+            "    return x + y\n"
+        )
+        mod = module(source)
+        func = mod.tree.body[0]
+        assert mod.marker(func, "pinned") is not None
+
+    def test_bad_root_raises_lint_error(self):
+        with pytest.raises(LintError, match="does not exist"):
+            run_lint(root=Path("/nonexistent/lint/root"))
+
+
+class TestLintCLI:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "repro lint: clean" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("pinned-path", "guarded-by", "no-densify", "unused-name"):
+            assert rule_id in out
+
+    def test_partial_path_run_skips_stale_check(self, capsys):
+        assert main(["lint", str(PACKAGE_ROOT / "ot" / "sinkhorn.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(GUARDED_CLASS, encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[guarded-by]" in out
+        assert "1 finding(s)" in out
