@@ -15,7 +15,12 @@ The gate fails (exit 1) when
   budget, or
 * any SLOTAlign-vs-best-baseline Hit@1 margin in the fresh
   ``BENCH_fidelity.json`` went negative (an accuracy regression, which
-  no runner-speed excuse can explain away).
+  no runner-speed excuse can explain away), or
+* the ``partial`` cohort is missing, its overlap=1.0 zero-anchor
+  ``partial-dummy`` point drifted from the full-bijective
+  ``fused-dense`` reference (the delegation is bitwise), or its
+  unanchored Hit@1 curve stopped being monotone non-increasing in
+  overlap (within ``--partial-tolerance``).
 
 A missing *baseline* file is reported and skipped (first run on a
 branch that introduces the artefact); a missing *fresh* file fails —
@@ -173,6 +178,70 @@ def check_fidelity(current_dir: Path):
             )
 
 
+def check_partial(current_dir: Path, tolerance: float = 10.0):
+    """Yield failure messages for the partial-overlap cohort.
+
+    The cohort (written by ``benchmarks/test_partial_bench.py``) must
+    exist, its ``partial-dummy`` overlap=1.0 zero-anchor point must
+    reproduce the full-bijective ``fused-dense`` Hit@1 *exactly* (the
+    delegation is bitwise — any drift means the partial plumbing
+    touched the classical path), and the unanchored Hit@1 curve must
+    be monotone non-increasing (within ``tolerance``) as overlap
+    drops.
+    """
+    fresh = load(current_dir / "BENCH_fidelity.json")
+    if fresh is None:
+        yield "BENCH_fidelity.json missing from the current run"
+        return
+    cohort = fresh.get("partial")
+    if not isinstance(cohort, dict) or not cohort.get("points"):
+        yield "BENCH_fidelity.json has no partial cohort (partial bench did not run)"
+        return
+    points = cohort["points"]
+    dummy = [p for p in points if p.get("backend") == "partial-dummy"]
+    overlaps = sorted({p["overlap"] for p in dummy})
+    anchored = any(p.get("anchor_fraction", 0.0) > 0.0 for p in dummy)
+    print(
+        f"partial cohort: {len(points)} points, overlaps {overlaps}, "
+        f"anchored points: {anchored}"
+    )
+    if len(overlaps) < 3:
+        yield f"partial cohort covers {len(overlaps)} overlap fractions (< 3)"
+    if not anchored:
+        yield "partial cohort has no anchor-seeded points"
+    reference = cohort.get("full_bijective_hits1")
+    parity = [
+        p for p in dummy
+        if p["overlap"] == 1.0 and p.get("anchor_fraction", 0.0) == 0.0
+    ]
+    if reference is None or not parity:
+        yield "partial cohort lacks the overlap=1.0 parity point/reference"
+    else:
+        drift = abs(parity[0]["hits@1"] - reference)
+        print(
+            f"partial parity: sweep {parity[0]['hits@1']:.4f} vs "
+            f"full-bijective {reference:.4f} (drift {drift:.2e})"
+        )
+        if drift > 1e-9:
+            yield (
+                f"partial parity broken: overlap=1.0 point {parity[0]['hits@1']}"
+                f" != full-bijective fused-dense {reference} (delegation must "
+                "be bitwise)"
+            )
+    unanchored = sorted(
+        (p for p in dummy if p.get("anchor_fraction", 0.0) == 0.0),
+        key=lambda p: -p["overlap"],
+    )
+    for higher, lower in zip(unanchored, unanchored[1:]):
+        if lower["hits@1"] > higher["hits@1"] + tolerance:
+            yield (
+                f"partial curve not monotone: overlap {lower['overlap']} "
+                f"Hit@1 {lower['hits@1']:.2f} exceeds overlap "
+                f"{higher['overlap']} Hit@1 {higher['hits@1']:.2f} "
+                f"by more than {tolerance}"
+            )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -187,11 +256,17 @@ def main(argv=None) -> int:
         "--max-slowdown", type=float, default=0.20,
         help="allowed fractional fit_seconds slowdown (default 0.20)",
     )
+    parser.add_argument(
+        "--partial-tolerance", type=float, default=10.0,
+        help="Hit@1 points of slack for the partial-curve monotonicity "
+        "gate (default 10.0, matching test_partial_bench.SHAPE_TOLERANCE)",
+    )
     args = parser.parse_args(argv)
     failures = [
         *check_solver(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_serve(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_fidelity(args.current_dir),
+        *check_partial(args.current_dir, tolerance=args.partial_tolerance),
     ]
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,0 +1,71 @@
+"""Benchmark PARTIAL — the partial-overlap robustness sweep (PR 8).
+
+Regenerates the overlap × anchor-fraction grid on the Cora stand-in
+for both partial backends and records the ``partial`` cohort in
+``BENCH_fidelity.json`` (gated by ``compare_bench.py check_partial``).
+
+Expected shape:
+
+* the ``partial-dummy`` overlap=1.0, zero-anchor point delegates to
+  the reference ``fused-dense`` portfolio, so its Hit@1 equals the
+  full-bijective reference **exactly** (bitwise parity, not
+  approximately);
+* Hit@1 decays monotonically (within tolerance) as overlap drops —
+  losing counterparts can only hurt;
+* anchor seeds never hurt: at every overlap level the anchored point
+  is at least the unanchored one minus tolerance.
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.fidelity import record_partial
+from repro.experiments.partial_overlap import format_partial, run_partial_overlap
+
+#: Hit@1 points of slack for the monotonicity/anchor shape assertions —
+#: sweep points are single seeds at stand-in scale, so small inversions
+#: are sampling noise, not regressions (the gate uses the same slack)
+SHAPE_TOLERANCE = 10.0
+
+
+def test_partial_overlap_sweep(benchmark, bench_scale):
+    out = benchmark.pedantic(
+        run_partial_overlap,
+        args=(bench_scale,),
+        iterations=1,
+        rounds=1,
+    )
+    emit("Partial overlap sweep", format_partial(out))
+    record_partial(
+        out["points"],
+        dataset_scale=out["dataset_scale"],
+        full_bijective_hits1=out["full_bijective_hits1"],
+    )
+    dummy = [p for p in out["points"] if p["backend"] == "partial-dummy"]
+    assert len(dummy) >= 6  # >= 3 overlaps x (with, without) anchors
+
+    # parity: the delegated mass-1.0 point IS the fused-dense run
+    parity = [
+        p for p in dummy
+        if p["overlap"] == 1.0 and p["anchor_fraction"] == 0.0
+    ]
+    assert len(parity) == 1
+    assert parity[0]["hits@1"] == out["full_bijective_hits1"]
+
+    # monotone decay of the unanchored curve as overlap drops
+    unanchored = sorted(
+        (p for p in dummy if p["anchor_fraction"] == 0.0),
+        key=lambda p: -p["overlap"],
+    )
+    for higher, lower in zip(unanchored, unanchored[1:]):
+        assert lower["hits@1"] <= higher["hits@1"] + SHAPE_TOLERANCE
+
+    # anchors never hurt (within tolerance), per overlap level
+    by_overlap = {p["overlap"]: p for p in unanchored}
+    for point in dummy:
+        if point["anchor_fraction"] > 0.0:
+            base = by_overlap[point["overlap"]]
+            assert point["hits@1"] >= base["hits@1"] - SHAPE_TOLERANCE
+
+    # the detection signal exists wherever nodes were actually dropped
+    for point in dummy:
+        if point["overlap"] < 1.0:
+            assert point["detection"]["n_unmatchable"] > 0

@@ -13,7 +13,11 @@ Commands
 ``engine``
     Drive the plan → solve → evaluate pipeline explicitly: pick any
     registered solver backend (``--backend``), inspect the registry
-    (``--list-backends``) and see per-stage wall-clock.
+    (``--list-backends``) and see per-stage wall-clock.  ``--partial
+    {dummy,unbalanced}`` builds a partially-overlapping pair instead
+    (``--overlap`` / ``--anchor-fraction``) and routes the solve
+    through the matching partial backend, reporting Hit@k on the
+    matchable nodes plus unmatchable-detection precision/recall.
 ``serve``
     Run the in-process alignment service against a synthetic traffic
     burst and print the service-level report: pairs/sec, plan-cache
@@ -229,6 +233,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-backends", action="store_true",
         help="list the registered solver backends and exit",
     )
+    engine.add_argument(
+        "--partial", choices=("dummy", "unbalanced"), default=None,
+        help="build a partially-overlapping pair and solve it with the "
+        "matching partial backend (partial-dummy / partial-unbalanced)",
+    )
+    engine.add_argument(
+        "--overlap", type=float, default=0.8,
+        help="fraction of nodes with a counterpart on both sides "
+        "(with --partial)",
+    )
+    engine.add_argument(
+        "--anchor-fraction", type=float, default=0.0,
+        help="fraction of the ground truth revealed as anchor seeds "
+        "(with --partial)",
+    )
+    engine.add_argument(
+        "--partial-mass", type=float, default=None,
+        help="transported-mass budget in (0, 1] (default: the pair's "
+        "actual matchable fraction)",
+    )
+    engine.add_argument(
+        "--partial-rho", type=float, default=1.0,
+        help="KL marginal-relaxation strength for --partial unbalanced",
+    )
     _add_pair_options(engine)
     _add_solver_options(engine)
 
@@ -322,6 +350,67 @@ def _run_align(args) -> int:
     return 0
 
 
+def _run_engine_partial(args) -> int:
+    """The ``engine --partial`` path: partial pair + partial backend."""
+    from dataclasses import replace
+
+    from repro.datasets import PartialPairSpec, make_partial_pair
+    from repro.eval import unmatchable_detection
+
+    if args.backend != DEFAULT_BACKEND:
+        raise SystemExit(
+            "--partial selects its own backend (partial-dummy / "
+            "partial-unbalanced); drop --backend"
+        )
+    graph = load_graph_dataset(args.dataset, scale=args.scale)
+    if args.truncate_columns:
+        graph = truncate_feature_columns(graph, args.truncate_columns)
+    spec = PartialPairSpec(
+        overlap=args.overlap, anchor_fraction=args.anchor_fraction
+    )
+    pair = make_partial_pair(
+        graph,
+        spec,
+        edge_noise=args.edge_noise,
+        feature_transform=args.feature_transform,
+        feature_noise=args.feature_noise,
+        seed=args.seed,
+    )
+    mass = (
+        args.partial_mass
+        if args.partial_mass is not None
+        else float(pair.source_matchable.mean())
+    )
+    config = replace(
+        _slot_config(args), partial_mass=mass, partial_rho=args.partial_rho
+    )
+    backend = f"partial-{args.partial}"
+    anchors = pair.anchors if pair.anchors.size else None
+    engine = AlignmentEngine(config, backend=backend)
+    run = engine.run(
+        pair.source, pair.target, pair.ground_truth, ks=(1, 5, 10),
+        anchors=anchors,
+    )
+    partial = run.result.extras["partial"]
+    print(f"backend  {backend}")
+    print(f"overlap  {pair.overlap_fraction:.3f}  (mass budget {mass:.3f})")
+    print(f"anchors  {0 if anchors is None else anchors.shape[0]}")
+    for stage, seconds in run.stage_seconds.items():
+        print(f"{stage:8s} {seconds:.3f}s")
+    for key, value in run.metrics.items():
+        print(f"{key:8s} {value:.2f}")
+    print(f"matched  {partial['matched_mass']:.3f}")
+    detection = unmatchable_detection(
+        partial["source_unmatchable"], pair.source_matchable
+    )
+    print(
+        f"unmatchable-detection  precision {detection['precision']:.2f}  "
+        f"recall {detection['recall']:.2f}  "
+        f"AP {detection['average_precision']:.2f}"
+    )
+    return 0
+
+
 def _run_engine(args) -> int:
     if args.list_backends:
         for name, description in available_backends().items():
@@ -329,6 +418,8 @@ def _run_engine(args) -> int:
         return 0
     if args.dataset is None:
         raise SystemExit("engine: a dataset is required unless --list-backends")
+    if args.partial:
+        return _run_engine_partial(args)
     backend = _resolve_backend(args.backend)
     pair = _build_pair(args)
     backend_options = {}

@@ -124,6 +124,25 @@ class SLOTAlignConfig:
         propagation; smaller values retain the node's own attributes,
         so one view can blend "my attributes" with "my neighbourhood's
         attributes".
+    partial_mass:
+        Fraction of the marginal mass the **partial** solve mode
+        transports (the "fraction assumed aligned").  ``1.0`` keeps
+        classical balanced transport; lower values let unmatchable
+        nodes shed their mass instead of being forced onto bad
+        partners.  Consumed only by the ``partial-dummy`` /
+        ``partial-unbalanced`` solver backends — the classical dense
+        backends *refuse* a config with ``partial_mass < 1`` rather
+        than silently ignoring it.
+    partial_rho:
+        Marginal-relaxation strength of the ``partial-unbalanced``
+        backend's KL-relaxed π-update; ``ρ → ∞`` recovers balanced
+        transport, small ρ makes shedding mass cheap.
+    partial_anchor_weight:
+        Log-domain reward added to each anchor cell of the π-update
+        kernel every outer iteration (and subtracted from the anchor
+        rows' dummy cells), expressing semi-supervised seed
+        correspondences as a sustained prior.  ``exp(weight)`` is the
+        multiplicative pull towards an anchor cell per update.
     """
 
     n_bases: int = 4
@@ -155,6 +174,9 @@ class SLOTAlignConfig:
     center_kernels: bool = False
     renormalize_hops: bool = False
     hop_mix: float = 1.0
+    partial_mass: float = 1.0
+    partial_rho: float = 1.0
+    partial_anchor_weight: float = 10.0
 
     def __post_init__(self) -> None:
         if self.n_bases < 1:
@@ -198,6 +220,19 @@ class SLOTAlignConfig:
             )
         if self.portfolio_prune_margin < 0 or self.portfolio_refine_margin < 0:
             raise ConfigError("portfolio prune margins must be non-negative")
+        if not 0.0 < self.partial_mass <= 1.0:
+            raise ConfigError(
+                f"partial_mass must be in (0, 1], got {self.partial_mass}"
+            )
+        if self.partial_rho <= 0:
+            raise ConfigError(
+                f"partial_rho must be positive, got {self.partial_rho}"
+            )
+        if self.partial_anchor_weight < 0:
+            raise ConfigError(
+                "partial_anchor_weight must be non-negative, "
+                f"got {self.partial_anchor_weight}"
+            )
         if self.single_start_view not in {"uniform", "edge", "node"}:
             raise ConfigError(
                 f"single_start_view must be 'uniform', 'edge' or 'node', "

@@ -2,6 +2,9 @@
 
 from repro.datasets.pairs import (
     AlignmentPair,
+    PartialAlignmentPair,
+    PartialPairSpec,
+    make_partial_pair,
     make_semi_synthetic_pair,
     truncate_feature_columns,
     FEATURE_TRANSFORMS,
@@ -23,6 +26,9 @@ from repro.datasets.registry import (
 
 __all__ = [
     "AlignmentPair",
+    "PartialAlignmentPair",
+    "PartialPairSpec",
+    "make_partial_pair",
     "make_semi_synthetic_pair",
     "truncate_feature_columns",
     "FEATURE_TRANSFORMS",

@@ -32,8 +32,10 @@ from repro.engine.backends import (
     available_backends,
     backend_kind,
     dense_backends,
+    ensure_classical_problem,
     ensure_dense_backend,
     get_backend,
+    partial_backends,
     register_backend,
 )
 from repro.engine.coalesce import coalescible, solve_coalesced
@@ -52,12 +54,14 @@ __all__ = [
     "available_backends",
     "backend_kind",
     "dense_backends",
+    "ensure_classical_problem",
     "ensure_dense_backend",
     "evaluate_alignment",
     "extract_plan",
     "feature_similarity_plan",
     "get_backend",
     "graph_digest",
+    "partial_backends",
     "prepare_problem",
     "register_backend",
     "shared_plan_cache",

@@ -25,11 +25,9 @@ from __future__ import annotations
 from repro.core.objective import JointObjective
 from repro.engine.planning import PreparedProblem
 from repro.engine.restarts import (
-    RestartRun,
-    build_starts,
+    portfolio_phase_timings,
     portfolio_result,
-    prune_schedule,
-    select_best,
+    run_portfolio,
 )
 from repro.exceptions import ConfigError
 from repro.utils.timer import Timer
@@ -108,6 +106,37 @@ def ensure_dense_backend(name: str, context: str) -> str:
     return name
 
 
+def partial_backends() -> list[str]:
+    """Names of the registered partial-alignment backends."""
+    return [
+        name for name in sorted(_REGISTRY)
+        if getattr(_lookup(name)[0], "partial", False)
+    ]
+
+
+def ensure_classical_problem(problem: PreparedProblem, backend_name: str) -> None:
+    """Refuse partial-alignment inputs on a classical balanced backend.
+
+    The partial workload must never be *silently* served by the
+    full-bijective solvers: a ``partial_mass < 1`` config or anchor
+    seeds on the prepared problem mean the caller asked for partial
+    semantics, which only the ``partial-*`` backends implement.
+    """
+    choices = ", ".join(partial_backends()) or "(none registered)"
+    if problem.config.partial_mass != 1.0:
+        raise ConfigError(
+            f"config has partial_mass={problem.config.partial_mass} but "
+            f"backend {backend_name!r} solves balanced transport only; "
+            f"use a partial backend: {choices}"
+        )
+    if problem.anchors is not None and problem.anchors.size:
+        raise ConfigError(
+            f"the prepared problem carries anchor seeds but backend "
+            f"{backend_name!r} cannot honour them; use a partial "
+            f"backend: {choices}"
+        )
+
+
 class FusedDenseBackend:
     """Reference serial restart portfolio (the pre-engine solver).
 
@@ -123,6 +152,7 @@ class FusedDenseBackend:
 
     def solve(self, problem: PreparedProblem):
         cfg = problem.config
+        ensure_classical_problem(problem, self.name)
         with Timer() as timer:
             source_bases, target_bases = problem.bases
             k = len(source_bases)
@@ -131,40 +161,12 @@ class FusedDenseBackend:
             )
             mu, nu = problem.marginals()
             plan0, informative_init = problem.initial_coupling(mu, nu)
-            starts = build_starts(cfg, k, informative_init)
-            runs = [
-                RestartRun(objective, cfg, beta0, learn, plan0, mu, nu, label)
-                for label, beta0, learn in starts
-            ]
-            checkpoints = prune_schedule(cfg) if len(runs) > 1 else []
-            for checkpoint, margin in checkpoints:
-                for run in runs:
-                    if run.active:
-                        run.step_until(checkpoint)
-                contenders = {
-                    run.label: run.current_objective()
-                    for run in runs
-                    if not run.pruned
-                }
-                leader = min(contenders.values())
-                for run in runs:
-                    if run.active and contenders[run.label] > leader + margin:
-                        run.prune()
-            for run in runs:
-                if run.active:
-                    run.step_until(cfg.max_outer_iter)
-
-            outcomes = [run.outcome() for run in runs]
-            best = select_best(outcomes)
-        phase_timings = {
-            "basis_build": problem.basis_seconds,
-            "alpha_update": sum(r.timings["alpha_update"] for r in runs),
-            "pi_update": sum(r.timings["pi_update"] for r in runs),
-            "objective_eval": sum(r.timings["objective_eval"] for r in runs),
-            "per_restart": {run.label: run.elapsed for run in runs},
-        }
+            runs, outcomes, best, checkpoints = run_portfolio(
+                objective, cfg, plan0, mu, nu, informative_init
+            )
         return portfolio_result(
-            self.name, outcomes, best, k, checkpoints, phase_timings,
+            self.name, outcomes, best, k, checkpoints,
+            portfolio_phase_timings(runs, problem.basis_seconds),
             runtime=timer.elapsed,
         )
 
@@ -222,8 +224,12 @@ class SparsePartitionBackend:
 
 def _register_builtin_backends() -> None:
     # imported here so the registry owns the import-order: batched.py
-    # imports this module for register_backend
+    # and partial.py import this module for register_backend
     from repro.engine.batched import BatchedRestartBackend
+    from repro.engine.partial import (
+        PartialDummyBackend,
+        PartialUnbalancedBackend,
+    )
 
     register_backend(
         FusedDenseBackend.name,
@@ -242,6 +248,18 @@ def _register_builtin_backends() -> None:
         SparsePartitionBackend,
         "divide-and-conquer partition pipeline with sparse stitching and "
         "boundary repair (CSR plans)",
+    )
+    register_backend(
+        PartialDummyBackend.name,
+        PartialDummyBackend,
+        "partial-overlap portfolio via dummy-mass rows/columns absorbing "
+        "the unmatched slack (reduces to fused-dense at mass 1)",
+    )
+    register_backend(
+        PartialUnbalancedBackend.name,
+        PartialUnbalancedBackend,
+        "partial-overlap portfolio with a KL-relaxed (unbalanced) "
+        "Sinkhorn pi-update; mass conservation is soft",
     )
 
 

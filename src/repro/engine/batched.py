@@ -337,7 +337,12 @@ class BatchedRestartBackend:
     kind = "dense"
 
     def solve(self, problem: PreparedProblem):
+        # imported here, not at module top: backends.py imports this
+        # module while registering the builtin backends
+        from repro.engine.backends import ensure_classical_problem
+
         cfg = problem.config
+        ensure_classical_problem(problem, self.name)
         with Timer() as timer:
             source_bases, target_bases = problem.bases
             k = len(source_bases)

@@ -88,8 +88,14 @@ class AlignmentEngine:
         target: AttributedGraph,
         init_plan: np.ndarray | None = None,
         bases=None,
+        anchors: np.ndarray | None = None,
     ) -> PreparedProblem:
-        """Stage 1: prepare the problem (bases built lazily, cached)."""
+        """Stage 1: prepare the problem (bases built lazily, cached).
+
+        ``anchors`` are semi-supervised seed correspondences consumed
+        by the partial backends; the classical backends refuse a
+        problem that carries any (never silently ignored).
+        """
         return prepare_problem(
             source,
             target,
@@ -97,6 +103,7 @@ class AlignmentEngine:
             init_plan=init_plan,
             bases=bases,
             cache=self.cache,
+            anchors=anchors,
         )
 
     def solve(self, problem: PreparedProblem):
@@ -120,9 +127,12 @@ class AlignmentEngine:
         target: AttributedGraph,
         init_plan: np.ndarray | None = None,
         bases=None,
+        anchors: np.ndarray | None = None,
     ):
         """plan + solve in one call (the ``fit``-shaped entry point)."""
-        problem = self.plan(source, target, init_plan=init_plan, bases=bases)
+        problem = self.plan(
+            source, target, init_plan=init_plan, bases=bases, anchors=anchors
+        )
         return self.solve(problem)
 
     def run(
@@ -132,10 +142,11 @@ class AlignmentEngine:
         ground_truth: np.ndarray | None = None,
         init_plan: np.ndarray | None = None,
         ks=(1, 5, 10, 30),
+        anchors: np.ndarray | None = None,
     ) -> EngineRun:
         """All three stages with per-stage wall-clock accounting."""
         t0 = time.perf_counter()
-        problem = self.plan(source, target, init_plan=init_plan)
+        problem = self.plan(source, target, init_plan=init_plan, anchors=anchors)
         t1 = time.perf_counter()
         result = self.solve(problem)
         t2 = time.perf_counter()

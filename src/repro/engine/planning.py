@@ -329,9 +329,21 @@ class PreparedProblem:
     init_plan: np.ndarray | None = None
     cache: PlanCache | None = None
     basis_seconds: float = 0.0
+    anchors: np.ndarray | None = None
     _bases: tuple[list[np.ndarray], list[np.ndarray]] | None = field(
         default=None, repr=False
     )
+
+    def __post_init__(self) -> None:
+        if self.anchors is not None:
+            anchors = np.asarray(self.anchors, dtype=np.int64).reshape(-1, 2)
+            if anchors.size:
+                if anchors.min() < 0 or (
+                    anchors[:, 0].max() >= self.source.n_nodes
+                    or anchors[:, 1].max() >= self.target.n_nodes
+                ):
+                    raise GraphError("anchor indices out of range for the pair")
+            self.anchors = anchors
 
     @property
     def bases(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
@@ -417,14 +429,21 @@ def prepare_problem(
     init_plan: np.ndarray | None = None,
     bases: tuple[list[np.ndarray], list[np.ndarray]] | None = None,
     cache: PlanCache | None = None,
+    anchors: np.ndarray | None = None,
 ) -> PreparedProblem:
-    """Run the plan stage for a pair and return the prepared problem."""
+    """Run the plan stage for a pair and return the prepared problem.
+
+    ``anchors`` (``k × 2`` source/target pairs) are semi-supervised
+    seed correspondences carried on the problem for the partial
+    backends; classical backends refuse a problem that has any.
+    """
     problem = PreparedProblem(
         source=source,
         target=target,
         config=config,
         init_plan=init_plan,
         cache=cache,
+        anchors=anchors,
     )
     if bases is not None:
         problem.inject_bases(bases)

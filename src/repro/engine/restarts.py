@@ -244,14 +244,7 @@ class RestartRun:
         log_kernel = (
             np.log(np.maximum(plan, 1e-300)) - plan_grad / eta
         )
-        sinkhorn_result = sinkhorn_log_kernel_fast(
-            log_kernel,
-            self.mu,
-            self.nu,
-            max_iter=cfg.sinkhorn_iter,
-            tol=cfg.sinkhorn_tol,
-        )
-        new_plan = sinkhorn_result.plan
+        new_plan = self._project_plan(log_kernel, eta)
         if not np.all(np.isfinite(new_plan)):
             raise ConvergenceError("SLOTAlign plan became non-finite")
         t2 = time.perf_counter()
@@ -270,6 +263,80 @@ class RestartRun:
         self.iteration += 1
         if alpha_delta < cfg.alpha_tol and plan_delta < cfg.plan_tol:
             self.history.converged = True
+
+    def _project_plan(self, log_kernel: np.ndarray, eta: float) -> np.ndarray:
+        """Project ``exp(log_kernel)`` onto the plan's feasible set.
+
+        The seam the partial solve mode reroutes: the reference run
+        projects onto the balanced polytope ``Π(μ, ν)`` exactly as the
+        pre-seam solver did; the partial runs add a log-domain prior
+        and/or swap in the unbalanced scaling (``η`` — the proximal
+        coefficient the kernel was built with — only matters there).
+        """
+        result = sinkhorn_log_kernel_fast(
+            log_kernel,
+            self.mu,
+            self.nu,
+            max_iter=self.config.sinkhorn_iter,
+            tol=self.config.sinkhorn_tol,
+        )
+        return result.plan
+
+
+def run_portfolio(
+    objective: JointObjective,
+    config: SLOTAlignConfig,
+    plan0: np.ndarray,
+    mu: np.ndarray,
+    nu: np.ndarray,
+    informative_init: bool,
+    run_factory=RestartRun,
+) -> tuple[list[RestartRun], list[RunOutcome], RunOutcome, list[tuple[int, float]]]:
+    """Run the serial restart portfolio over one prepared objective.
+
+    The faithful move of the scheduling loop that lived in the
+    ``fused-dense`` backend: restart construction, successive-halving
+    checkpoints and the final full-budget advance are unchanged, so
+    running this with the default ``run_factory`` is bit-for-bit the
+    historical solver.  The partial backends reuse the identical
+    policy over their extended/unbalanced run classes.
+    """
+    starts = build_starts(config, objective.n_bases, informative_init)
+    runs = [
+        run_factory(objective, config, beta0, learn, plan0, mu, nu, label)
+        for label, beta0, learn in starts
+    ]
+    checkpoints = prune_schedule(config) if len(runs) > 1 else []
+    for checkpoint, margin in checkpoints:
+        for run in runs:
+            if run.active:
+                run.step_until(checkpoint)
+        contenders = {
+            run.label: run.current_objective()
+            for run in runs
+            if not run.pruned
+        }
+        leader = min(contenders.values())
+        for run in runs:
+            if run.active and contenders[run.label] > leader + margin:
+                run.prune()
+    for run in runs:
+        if run.active:
+            run.step_until(config.max_outer_iter)
+    outcomes = [run.outcome() for run in runs]
+    best = select_best(outcomes)
+    return runs, outcomes, best, checkpoints
+
+
+def portfolio_phase_timings(runs: list[RestartRun], basis_seconds: float) -> dict:
+    """The per-phase timing dict both portfolio-shaped backends emit."""
+    return {
+        "basis_build": basis_seconds,
+        "alpha_update": sum(r.timings["alpha_update"] for r in runs),
+        "pi_update": sum(r.timings["pi_update"] for r in runs),
+        "objective_eval": sum(r.timings["objective_eval"] for r in runs),
+        "per_restart": {run.label: run.elapsed for run in runs},
+    }
 
 
 def select_best(outcomes: list[RunOutcome]) -> RunOutcome:

@@ -6,16 +6,23 @@ from repro.eval.metrics import (
     alignment_accuracy,
     evaluate_plan,
     sparse_topk,
+    unmatchable_detection,
 )
 from repro.eval.robustness import (
     SweepResult,
     run_structure_sweep,
     run_feature_sweep,
+    run_partial_sweep,
     evaluate_on_pair,
 )
 from repro.eval.reporting import format_table, format_sweep
 from repro.eval.aggregate import AggregateResult, repeat_evaluation, format_aggregates
-from repro.eval.fidelity import fidelity_margin, format_fidelity, record_fidelity
+from repro.eval.fidelity import (
+    fidelity_margin,
+    format_fidelity,
+    record_fidelity,
+    record_partial,
+)
 
 __all__ = [
     "hits_at_k",
@@ -23,9 +30,11 @@ __all__ = [
     "alignment_accuracy",
     "evaluate_plan",
     "sparse_topk",
+    "unmatchable_detection",
     "SweepResult",
     "run_structure_sweep",
     "run_feature_sweep",
+    "run_partial_sweep",
     "evaluate_on_pair",
     "format_table",
     "format_sweep",
@@ -35,4 +44,5 @@ __all__ = [
     "fidelity_margin",
     "format_fidelity",
     "record_fidelity",
+    "record_partial",
 ]

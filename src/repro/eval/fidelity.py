@@ -84,14 +84,12 @@ def record_fidelity(
     entry["fixed"] = bool(fixed)
     if dataset_scale is not None:
         entry["dataset_scale"] = float(dataset_scale)
-    payload: dict = {"metric": metric, "tables": {}}
-    if path.exists():
-        try:
-            existing = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
-            existing = {}
-        if isinstance(existing.get("tables"), dict):
-            payload["tables"] = existing["tables"]
+    # start from the existing artefact so independently-written cohorts
+    # (e.g. the "partial" sweep) survive a tables rewrite, then assert
+    # this write's own keys over it
+    payload = _load_artifact(path)
+    payload["metric"] = metric
+    payload.setdefault("tables", {})
     payload["tables"][table_name] = entry
     # the aggregate flag is computed over the current write's scale
     # cohort only: margins are scale-sensitive, so an off-protocol
@@ -106,6 +104,50 @@ def record_fidelity(
     )
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return entry
+
+
+def _load_artifact(path: Path) -> dict:
+    """The existing artefact as a dict (empty on absence/corruption).
+
+    Every writer merges into the loaded payload instead of rebuilding
+    it, so cohorts owned by *other* writers — ``tables`` vs the
+    ``partial`` sweep — are never silently dropped by a rewrite.
+    """
+    if not path.exists():
+        return {}
+    try:
+        existing = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return {}
+    return existing if isinstance(existing, dict) else {}
+
+
+def record_partial(
+    points: list[dict],
+    dataset_scale: float | None = None,
+    full_bijective_hits1: float | None = None,
+    path: Path | None = None,
+) -> dict:
+    """Merge a partial-overlap sweep cohort into ``BENCH_fidelity.json``.
+
+    ``points`` is the :func:`repro.eval.robustness.run_partial_sweep`
+    output (overlap × anchor-fraction grid).  ``full_bijective_hits1``
+    stamps the reference ``fused-dense`` Hit@1 on the unperturbed
+    bijective pair — the value the overlap=1.0, zero-anchor sweep point
+    must reproduce exactly (the parity gate in ``compare_bench.py``).
+    """
+    path = FIDELITY_JSON if path is None else Path(path)
+    cohort: dict = {"points": [dict(point) for point in points]}
+    if dataset_scale is not None:
+        cohort["dataset_scale"] = float(dataset_scale)
+    if full_bijective_hits1 is not None:
+        cohort["full_bijective_hits1"] = float(full_bijective_hits1)
+    payload = _load_artifact(path)
+    payload.setdefault("metric", METRIC)
+    payload.setdefault("tables", {})
+    payload["partial"] = cohort
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return cohort
 
 
 def format_fidelity(path: Path | None = None) -> str:

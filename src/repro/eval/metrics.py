@@ -178,6 +178,63 @@ def evaluate_plan(
     return report
 
 
+def unmatchable_detection(
+    scores: np.ndarray,
+    matchable_mask: np.ndarray,
+    threshold: float = 0.5,
+) -> dict[str, float]:
+    """Precision/recall of unmatchable-node detection from shed scores.
+
+    The partial backends emit a per-node score in [0, 1] — the
+    fraction of the node's mass shed to the dummy sink (or, for the
+    unbalanced solve, its marginal shortfall).  Against the pair's
+    matchable mask this is a binary detection problem with the
+    **unmatchable** nodes as the positive class.
+
+    Returns ``precision``/``recall``/``f1`` at ``threshold`` plus the
+    threshold-free ``average_precision`` (area under the PR curve via
+    the standard rank-then-average construction) and the class counts.
+    A pair with no unmatchable nodes (overlap 1.0) has vacuous targets:
+    recall and average precision are 1.0, and precision is 1.0 exactly
+    when nothing is flagged.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    mask = np.asarray(matchable_mask, dtype=bool)
+    if scores.ndim != 1 or mask.shape != scores.shape:
+        raise ShapeError(
+            f"scores and matchable_mask must be 1-D of equal length, got "
+            f"{scores.shape} and {mask.shape}"
+        )
+    positives = ~mask
+    n_pos = int(positives.sum())
+    predicted = scores >= threshold
+    tp = int(np.sum(predicted & positives))
+    fp = int(np.sum(predicted & ~positives))
+    precision = tp / (tp + fp) if (tp + fp) else 1.0
+    recall = tp / n_pos if n_pos else 1.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    if n_pos:
+        order = np.argsort(-scores, kind="stable")
+        hits = positives[order]
+        cum_tp = np.cumsum(hits)
+        prec_at_rank = cum_tp / np.arange(1, scores.size + 1)
+        average_precision = float(prec_at_rank[hits].sum() / n_pos)
+    else:
+        average_precision = 1.0
+    return {
+        "precision": float(precision),
+        "recall": float(recall),
+        "f1": float(f1),
+        "average_precision": average_precision,
+        "n_unmatchable": n_pos,
+        "n_flagged": tp + fp,
+    }
+
+
 def _sorted_csr(plan) -> sp.csr_array:
     """CSR with sorted indices, copying first if sorting would mutate.
 

@@ -16,6 +16,7 @@ from repro.experiments.serve_traffic import (
     format_serve_report,
     run_serve_traffic,
 )
+from repro.experiments.partial_overlap import format_partial, run_partial_overlap
 from repro.experiments.table2_realworld import run_table2
 from repro.experiments.table3_dbp15k import run_table3
 from repro.experiments.ablations import ablation_aligners
@@ -31,6 +32,8 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_fig8",
+    "format_partial",
+    "run_partial_overlap",
     "run_scalability",
     "format_serve_report",
     "run_serve_traffic",

@@ -11,11 +11,12 @@ from __future__ import annotations
 import argparse
 
 from repro.engine import ensure_dense_backend
-from repro.eval.fidelity import format_fidelity, record_fidelity
+from repro.eval.fidelity import format_fidelity, record_fidelity, record_partial
 from repro.exceptions import ConfigError
 from repro.eval.reporting import format_sweep, format_table
 from repro.experiments.config import ExperimentScale
 from repro.experiments.fig3_motivation import run_fig3
+from repro.experiments.partial_overlap import format_partial, run_partial_overlap
 from repro.experiments.fig6_structure import run_fig6
 from repro.experiments.fig7_feature import run_fig7
 from repro.experiments.fig8_sensitivity import run_fig8
@@ -29,7 +30,7 @@ from repro.experiments.table3_dbp15k import run_table3
 
 EXPERIMENTS = (
     "fig3", "fig6", "fig7", "table2", "table3", "fig8", "scale", "fidelity",
-    "serve",
+    "serve", "partial",
 )
 
 
@@ -127,6 +128,14 @@ def run_experiment(name: str, scale: ExperimentScale) -> str:
                 dataset_scale=scale.dataset_scale,
             )
         return format_fidelity()
+    if name == "partial":
+        out = run_partial_overlap(scale)
+        record_partial(
+            out["points"],
+            dataset_scale=scale.dataset_scale,
+            full_bijective_hits1=out["full_bijective_hits1"],
+        )
+        return format_partial(out)
     if name == "fig8":
         out = run_fig8(scale)
         chunks = []

@@ -164,6 +164,61 @@ def add_feature_noise(
     return out
 
 
+def inject_nodes(
+    graph: AttributedGraph, n_new: int, seed=None
+) -> AttributedGraph:
+    """Append ``n_new`` impostor nodes with resampled edges and features.
+
+    Each injected node receives the degree of a uniformly sampled
+    existing node (at least 1) and connects to uniformly random
+    endpoints; its feature vector is a bootstrap resample of existing
+    per-column feature values, so impostors match the marginal feature
+    statistics without copying any real node.  Used by the
+    partial-overlap pair builder to model unmatchable nodes that exist
+    on one side only (fake accounts, non-overlapping users).
+    """
+    if n_new < 0:
+        raise GraphError(f"n_new must be non-negative, got {n_new}")
+    if n_new == 0:
+        return graph.copy()
+    rng = check_random_state(seed)
+    n = graph.n_nodes
+    if n == 0:
+        raise GraphError("cannot inject nodes into an empty graph")
+    total = n + n_new
+    edges = [tuple(e) for e in graph.edge_list()]
+    existing: set[tuple[int, int]] = set(edges)
+    degrees = np.maximum(graph.degrees.astype(np.int64), 1)
+    for new_node in range(n, total):
+        target_degree = int(degrees[int(rng.integers(0, n))])
+        attached = 0
+        attempts = 0
+        while attached < target_degree and attempts < 50 * target_degree + 100:
+            attempts += 1
+            other = int(rng.integers(0, new_node))
+            key = (other, new_node)
+            if key in existing:
+                continue
+            existing.add(key)
+            edges.append(key)
+            attached += 1
+    features = None
+    if graph.features is not None:
+        feats = graph.features
+        # per-column bootstrap: marginals match, joint rows are novel
+        sampled = np.empty((n_new, feats.shape[1]))
+        for col in range(feats.shape[1]):
+            sampled[:, col] = feats[rng.integers(0, n, size=n_new), col]
+        features = np.vstack([feats, sampled])
+    out = AttributedGraph.from_edges(
+        total, edges, features=features, name=f"{graph.name}-injected"
+    )
+    if graph.node_labels is not None:
+        pad = np.zeros(n_new, dtype=graph.node_labels.dtype)
+        out.node_labels = np.concatenate([graph.node_labels, pad])
+    return out
+
+
 def drop_edges(graph: AttributedGraph, ratio: float, seed=None) -> AttributedGraph:
     """Delete ``ratio`` of edges without replacement (missing-edge noise)."""
     if not 0.0 <= ratio <= 1.0:

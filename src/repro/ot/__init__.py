@@ -15,7 +15,11 @@ from repro.ot.sinkhorn import (
     transport_cost,
 )
 from repro.ot.exact import emd, emd_cost, wasserstein_1d
-from repro.ot.unbalanced import sinkhorn_unbalanced, partial_wasserstein
+from repro.ot.unbalanced import (
+    partial_wasserstein,
+    sinkhorn_unbalanced,
+    sinkhorn_unbalanced_log_kernel,
+)
 from repro.ot.gromov import (
     GWResult,
     gw_constant_term,
@@ -48,6 +52,7 @@ __all__ = [
     "emd_cost",
     "wasserstein_1d",
     "sinkhorn_unbalanced",
+    "sinkhorn_unbalanced_log_kernel",
     "partial_wasserstein",
     "GWResult",
     "gw_constant_term",

@@ -8,6 +8,7 @@ from repro.eval import (
     evaluate_plan,
     hits_at_k,
     mean_reciprocal_rank,
+    unmatchable_detection,
 )
 from repro.exceptions import ShapeError
 
@@ -109,3 +110,94 @@ class TestEvaluatePlan:
         report = evaluate_plan(plan, gt, ks=(3,))
         assert report["hits@3"] == hits_at_k(plan, gt, 3)
         assert report["mrr"] == mean_reciprocal_rank(plan, gt)
+
+
+class TestPartialGroundTruth:
+    """Scoring under non-square plans with partially-matchable GT.
+
+    The partial workload evaluates over the matchable nodes only — GT
+    rows exist solely for nodes with a surviving counterpart — but an
+    unmatchable *column* still participates in every row's ranking: a
+    matchable node whose mass lands on a dropped counterpart's column
+    scores a miss, it is never silently skipped.
+    """
+
+    def test_non_square_plan_partial_gt(self):
+        plan = np.zeros((3, 4))
+        plan[0, 0] = 1.0  # correct
+        plan[1, 1] = 1.0  # correct
+        plan[2, 2] = 1.0  # node 2 has no GT row: must not be scored
+        gt = np.array([[0, 0], [1, 1]])
+        assert hits_at_k(plan, gt, 1) == 100.0
+        assert mean_reciprocal_rank(plan, gt) == 1.0
+
+    def test_mass_on_unmatchable_column_is_a_miss(self):
+        """Node 0's true target is column 0, but its top candidate is
+        column 3 — a column with no GT entry (a dropped counterpart).
+        The wrong match must count against Hit@1 through the rank."""
+        plan = np.zeros((2, 4))
+        plan[0, 3] = 0.9  # impostor column wins the row
+        plan[0, 0] = 0.1
+        plan[1, 1] = 1.0
+        gt = np.array([[0, 0], [1, 1]])
+        assert hits_at_k(plan, gt, 1) == 50.0
+        assert hits_at_k(plan, gt, 2) == 100.0
+        assert mean_reciprocal_rank(plan, gt) == pytest.approx(0.75)
+
+    def test_empty_partial_gt_scores_zero(self):
+        report = evaluate_plan(np.random.default_rng(0).random((3, 5)),
+                               np.empty((0, 2)), ks=(1,))
+        assert report == {"hits@1": 0.0, "mrr": 0.0}
+
+
+class TestUnmatchableDetection:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.0])
+        matchable = np.array([False, False, True, True])
+        report = unmatchable_detection(scores, matchable)
+        assert report["precision"] == 1.0
+        assert report["recall"] == 1.0
+        assert report["f1"] == 1.0
+        assert report["average_precision"] == 1.0
+        assert report["n_unmatchable"] == 2
+        assert report["n_flagged"] == 2
+
+    def test_partial_overlap_of_flags(self):
+        scores = np.array([0.9, 0.2, 0.7, 0.1])
+        matchable = np.array([False, False, True, True])
+        report = unmatchable_detection(scores, matchable, threshold=0.5)
+        # flagged: nodes 0 and 2; positives: nodes 0 and 1
+        assert report["precision"] == pytest.approx(0.5)
+        assert report["recall"] == pytest.approx(0.5)
+        assert report["f1"] == pytest.approx(0.5)
+        # ranking 0.9, 0.7, 0.2, 0.1 → positives at ranks 1 and 3
+        assert report["average_precision"] == pytest.approx(
+            (1.0 / 1 + 2.0 / 3) / 2
+        )
+
+    def test_vacuous_full_overlap(self):
+        """No unmatchable nodes: recall/AP are vacuously 1, precision
+        is 1 exactly when nothing is flagged."""
+        matchable = np.ones(4, dtype=bool)
+        clean = unmatchable_detection(np.zeros(4), matchable)
+        assert clean["recall"] == 1.0
+        assert clean["precision"] == 1.0
+        assert clean["average_precision"] == 1.0
+        assert clean["n_unmatchable"] == 0
+        noisy = unmatchable_detection(np.array([0.9, 0.0, 0.0, 0.0]), matchable)
+        assert noisy["precision"] == 0.0
+        assert noisy["n_flagged"] == 1
+
+    def test_threshold_moves_the_operating_point(self):
+        scores = np.array([0.6, 0.4, 0.1])
+        matchable = np.array([False, False, True])
+        strict = unmatchable_detection(scores, matchable, threshold=0.5)
+        loose = unmatchable_detection(scores, matchable, threshold=0.3)
+        assert strict["recall"] == pytest.approx(0.5)
+        assert loose["recall"] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            unmatchable_detection(np.zeros((2, 2)), np.ones(4, dtype=bool))
+        with pytest.raises(ShapeError):
+            unmatchable_detection(np.zeros(3), np.ones(4, dtype=bool))

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ShapeError
-from repro.ot import sinkhorn_log, sinkhorn_unbalanced, partial_wasserstein
+from repro.ot import (
+    partial_wasserstein,
+    sinkhorn_log,
+    sinkhorn_unbalanced,
+    sinkhorn_unbalanced_log_kernel,
+)
 
 
 def random_problem(n, m, seed=0):
@@ -89,6 +94,101 @@ class TestUnbalancedSinkhorn:
             sinkhorn_unbalanced(cost, mu[:2], nu)
 
 
+class TestUnbalancedLogKernel:
+    """The log-domain scaling behind the partial-unbalanced backend."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_linear_domain_on_moderate_kernels(self, seed):
+        """Same fixed point as :func:`sinkhorn_unbalanced` when the
+        kernel is small enough for the linear domain to survive."""
+        cost, mu, nu = random_problem(6, 7, seed=seed)
+        eps, rho = 0.1, 1.0
+        linear = sinkhorn_unbalanced(
+            cost, mu, nu, epsilon=eps, rho=rho, max_iter=5000, tol=1e-13
+        )
+        log_kernel = -cost / eps + np.log(np.outer(mu, nu))
+        logd = sinkhorn_unbalanced_log_kernel(
+            log_kernel, mu, nu, epsilon=eps, rho=rho, max_iter=5000, tol=1e-13
+        )
+        np.testing.assert_allclose(logd.plan, linear.plan, atol=1e-12)
+
+    def test_fixed_point_residual_decreases_with_iterations(self):
+        """The generalised scaling (exponent < 1) is a contraction: the
+        reported residual must shrink monotonically to ~0."""
+        rng = np.random.default_rng(5)
+        log_kernel = rng.normal(scale=30.0, size=(8, 8))
+        log_kernel -= log_kernel.max()
+        mu = rng.dirichlet(np.ones(8))
+        nu = rng.dirichlet(np.ones(8))
+        residuals = [
+            sinkhorn_unbalanced_log_kernel(
+                log_kernel, mu, nu, epsilon=0.5, rho=1.0,
+                max_iter=budget, tol=0.0,
+            ).marginal_error
+            for budget in (5, 20, 80)
+        ]
+        assert residuals[1] <= residuals[0]
+        assert residuals[2] <= residuals[1]
+        assert residuals[-1] < 1e-8
+
+    def test_kernel_shift_rescales_mass_by_the_documented_law(self):
+        """The unbalanced fixed point is NOT shift-invariant: adding a
+        constant ``c`` to the log kernel multiplies the plan's total
+        mass by ``exp(c(1−x)/(1+x))`` for scaling exponent
+        ``x = ρ/(ρ+ε)``.  This is exactly why the partial-unbalanced
+        backend pins ``max(log_kernel) = 0`` before projecting — a pin
+        on the rationale, not just the workaround."""
+        rng = np.random.default_rng(7)
+        log_kernel = rng.normal(scale=20.0, size=(6, 6))
+        log_kernel -= log_kernel.max()
+        mu = rng.dirichlet(np.ones(6))
+        nu = rng.dirichlet(np.ones(6))
+        eps, rho, shift = 0.5, 1.0, 2.0
+        base = sinkhorn_unbalanced_log_kernel(
+            log_kernel, mu, nu, epsilon=eps, rho=rho, max_iter=5000, tol=1e-14
+        )
+        shifted = sinkhorn_unbalanced_log_kernel(
+            log_kernel + shift, mu, nu,
+            epsilon=eps, rho=rho, max_iter=5000, tol=1e-14,
+        )
+        exponent = rho / (rho + eps)
+        predicted = np.exp(shift * (1.0 - exponent) / (1.0 + exponent))
+        assert shifted.plan.sum() / base.plan.sum() == pytest.approx(
+            predicted, rel=1e-10
+        )
+
+    def test_survives_log_scales_that_underflow_linear_kernels(self):
+        """A kernel hundreds of nats deep (the proximal π-update's
+        reality) must still produce a finite, massive plan."""
+        rng = np.random.default_rng(9)
+        log_kernel = rng.normal(scale=200.0, size=(7, 7))
+        log_kernel -= log_kernel.max()
+        mu = rng.dirichlet(np.ones(7))
+        nu = rng.dirichlet(np.ones(7))
+        result = sinkhorn_unbalanced_log_kernel(
+            log_kernel, mu, nu, epsilon=1.0, rho=1.0, max_iter=500, tol=1e-12
+        )
+        assert np.all(np.isfinite(result.plan))
+        assert np.all(result.plan >= 0)
+        assert result.plan.sum() > 0
+
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(3)
+        log_kernel = rng.normal(size=(4, 4))
+        mu = rng.dirichlet(np.ones(4))
+        nu = rng.dirichlet(np.ones(4))
+        with pytest.raises(ValueError):
+            sinkhorn_unbalanced_log_kernel(log_kernel, mu, nu, epsilon=0.0)
+        with pytest.raises(ValueError):
+            sinkhorn_unbalanced_log_kernel(
+                log_kernel, mu, nu, epsilon=1.0, rho=-1.0
+            )
+        with pytest.raises(ShapeError):
+            sinkhorn_unbalanced_log_kernel(
+                log_kernel[0], mu, nu, epsilon=1.0
+            )
+
+
 class TestPartialWasserstein:
     def test_total_mass_honours_documented_contract(self):
         """Regression: the plan used to total ``mass/(1+slack)`` while
@@ -120,3 +220,20 @@ class TestPartialWasserstein:
         cost, mu, nu = random_problem(5, 7, seed=4)
         plan = partial_wasserstein(cost, mu, nu, mass=0.6)
         assert np.all(plan >= 0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_marginals_never_exceed_budgets(self, seed):
+        """The dummy-sink reduction makes this a theorem, not a
+        numerical accident: each real row/column marginal of the
+        extended balanced problem *is* the budget, so the real block
+        can only undershoot it.  (The soft KL relaxation deliberately
+        does NOT guarantee this — its marginals can overshoot.)"""
+        cost, mu, nu = random_problem(6, 8, seed=seed)
+        for mass in (0.4, 0.7, 1.0):
+            plan = partial_wasserstein(cost, mu, nu, mass=mass)
+            # 1e-8 headroom: at mass=1.0 the reduction is a plain
+            # balanced solve and the finite Sinkhorn budget leaves a
+            # ~1e-10 marginal residual (convergence error, not overshoot)
+            assert np.all(plan.sum(axis=1) <= mu + 1e-8)
+            assert np.all(plan.sum(axis=0) <= nu + 1e-8)
+            assert plan.sum() == pytest.approx(mass, rel=1e-12)
