@@ -20,7 +20,11 @@ The gate fails (exit 1) when
   ``partial-dummy`` point drifted from the full-bijective
   ``fused-dense`` reference (the delegation is bitwise), or its
   unanchored Hit@1 curve stopped being monotone non-increasing in
-  overlap (within ``--partial-tolerance``).
+  overlap (within ``--partial-tolerance``), or
+* the ``decoders`` cohort is missing, lacks one of the four
+  registered decoders on some pair, or no longer has at least two
+  pairs where a one-to-one decoder improves Hit@1 or MRR over
+  ``row-argmax`` (the decode stage stopped earning its keep).
 
 A missing *baseline* file is reported and skipped (first run on a
 branch that introduces the artefact); a missing *fresh* file fails —
@@ -242,6 +246,52 @@ def check_partial(current_dir: Path, tolerance: float = 10.0):
             )
 
 
+def check_decoders(current_dir: Path, min_improved: int = 2):
+    """Yield failure messages for the decoder-comparison cohort.
+
+    The cohort (written by ``benchmarks/test_decoder_bench.py``) must
+    exist, carry all four registered decoders on every pair, and keep
+    at least ``min_improved`` pairs whose ``improved_over_baseline``
+    list is non-empty — the PR-9 acceptance gate that a one-to-one
+    decoder actually buys Hit@1/MRR somewhere, at zero solver cost.
+    """
+    expected = {"hungarian", "mea", "mutual-argmax", "row-argmax"}
+    fresh = load(current_dir / "BENCH_fidelity.json")
+    if fresh is None:
+        yield "BENCH_fidelity.json missing from the current run"
+        return
+    cohort = fresh.get("decoders")
+    if not isinstance(cohort, dict) or not cohort.get("pairs"):
+        yield (
+            "BENCH_fidelity.json has no decoders cohort "
+            "(decoder bench did not run)"
+        )
+        return
+    pairs = cohort["pairs"]
+    improved = []
+    for name, entry in sorted(pairs.items()):
+        present = set(entry.get("decoders", {}))
+        if present != expected:
+            yield (
+                f"decoder cohort pair {name!r} carries {sorted(present)} "
+                f"(expected {sorted(expected)})"
+            )
+        winners = entry.get("improved_over_baseline", [])
+        print(f"decoder cohort {name}: improved_over_baseline={winners}")
+        if winners:
+            improved.append(name)
+    print(
+        f"decoder cohort: {len(improved)}/{len(pairs)} pairs improved "
+        f"over {cohort.get('baseline_decoder', 'row-argmax')}"
+    )
+    if len(improved) < min_improved:
+        yield (
+            f"decoder cohort: only {len(improved)} pairs improve on the "
+            f"baseline decoder (need {min_improved}) — the one-to-one "
+            "decoders stopped beating row-argmax"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -267,6 +317,7 @@ def main(argv=None) -> int:
         *check_serve(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_fidelity(args.current_dir),
         *check_partial(args.current_dir, tolerance=args.partial_tolerance),
+        *check_decoders(args.current_dir),
     ]
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

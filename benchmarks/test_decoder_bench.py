@@ -1,0 +1,59 @@
+"""Benchmark DECODERS — decode quality at zero solver cost (PR 9).
+
+Regenerates the decoder-comparison cohort: one under-converged solve
+per bench pair (``sinkhorn_iter`` cut to the cohort's
+``SINKHORN_BUDGET``), every registered decoder consuming the same
+plan, recorded as the ``decoders`` cohort of ``BENCH_fidelity.json``
+(gated by ``compare_bench.py check_decoders``).
+
+Expected shape:
+
+* all four registered decoders report on every pair;
+* on at least ``MIN_IMPROVED_PAIRS`` pairs a one-to-one decoder
+  (``hungarian`` / ``mea``) improves Hit@1 or MRR over ``row-argmax``
+  — the argmax collisions of an unbalanced plan are resolvable;
+* ``mutual-argmax`` never beats ``row-argmax`` on Hit@1 (its matches
+  are a strict subset), and ``row-argmax`` matches every row — both
+  structural invariants of the decoder contracts;
+* decoding is orders of magnitude cheaper than the solve it reuses.
+"""
+
+from benchmarks.conftest import emit
+from repro.engine import available_decoders
+from repro.eval.fidelity import record_decoders
+from repro.experiments.decoders import (
+    MIN_IMPROVED_PAIRS,
+    format_decoders,
+    run_decoder_comparison,
+)
+
+
+def test_decoder_comparison(benchmark, bench_scale):
+    cohort = benchmark.pedantic(
+        run_decoder_comparison,
+        args=(bench_scale,),
+        iterations=1,
+        rounds=1,
+    )
+    emit("Decoder comparison", format_decoders(cohort))
+    recorded = record_decoders(cohort, dataset_scale=bench_scale.dataset_scale)
+
+    decoders = set(available_decoders())
+    assert decoders == {"hungarian", "mea", "mutual-argmax", "row-argmax"}
+    for name, reports in cohort.items():
+        assert set(reports) == decoders, f"{name} missing decoders"
+        base = reports["row-argmax"]
+        # row-argmax matches every source row; mutual-argmax is a
+        # strict subset of it, so it can never win on Hit@1
+        assert base["n_matched"] == max(r["n_matched"] for r in reports.values())
+        assert reports["mutual-argmax"]["hits@1"] <= base["hits@1"] + 1e-12
+
+    improved = [
+        name
+        for name, entry in recorded["pairs"].items()
+        if entry["improved_over_baseline"]
+    ]
+    assert len(improved) >= MIN_IMPROVED_PAIRS, (
+        f"only {improved} improved on row-argmax "
+        f"(need {MIN_IMPROVED_PAIRS} pairs)"
+    )

@@ -56,7 +56,9 @@ from repro.engine import (
     DEFAULT_BACKEND,
     AlignmentEngine,
     available_backends,
+    available_decoders,
     backend_kind,
+    ensure_decoder,
     ensure_dense_backend,
 )
 from repro.eval import evaluate_plan
@@ -134,6 +136,16 @@ def _resolve_backend(name: str, dense_only: bool = False) -> str:
     except ConfigError as exc:
         raise SystemExit(str(exc)) from exc
     return name
+
+
+def _resolve_decoder(name: str | None) -> str | None:
+    """Validate a decoder name against the engine's decoder registry."""
+    if name is None:
+        return None
+    try:
+        return ensure_decoder(name)
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _add_pair_options(parser: argparse.ArgumentParser) -> None:
@@ -227,11 +239,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine.add_argument(
         "dataset", nargs="?",
-        help="dataset stand-in (omit with --list-backends)",
+        help="dataset stand-in (omit with --list-backends/--list-decoders)",
     )
     engine.add_argument(
         "--list-backends", action="store_true",
         help="list the registered solver backends and exit",
+    )
+    engine.add_argument(
+        "--decoder", default=None,
+        help="decode the solved plan with a registered decoder "
+        "(row-argmax / mutual-argmax / hungarian / mea); default: rank "
+        "the plan posterior directly",
+    )
+    engine.add_argument(
+        "--list-decoders", action="store_true",
+        help="list the registered plan decoders and exit",
     )
     engine.add_argument(
         "--partial", choices=("dummy", "unbalanced"), default=None,
@@ -386,13 +408,20 @@ def _run_engine_partial(args) -> int:
     )
     backend = f"partial-{args.partial}"
     anchors = pair.anchors if pair.anchors.size else None
-    engine = AlignmentEngine(config, backend=backend)
+    engine = AlignmentEngine(
+        config, backend=backend, decoder=_resolve_decoder(args.decoder)
+    )
     run = engine.run(
         pair.source, pair.target, pair.ground_truth, ks=(1, 5, 10),
         anchors=anchors,
     )
     partial = run.result.extras["partial"]
     print(f"backend  {backend}")
+    if run.decoded is not None:
+        print(
+            f"decoder  {run.decoded.decoder}  "
+            f"(matched {run.decoded.n_matched}/{run.decoded.n_source})"
+        )
     print(f"overlap  {pair.overlap_fraction:.3f}  (mass budget {mass:.3f})")
     print(f"anchors  {0 if anchors is None else anchors.shape[0]}")
     for stage, seconds in run.stage_seconds.items():
@@ -416,11 +445,19 @@ def _run_engine(args) -> int:
         for name, description in available_backends().items():
             print(f"{name:16s} {description}")
         return 0
+    if args.list_decoders:
+        for name, description in available_decoders().items():
+            print(f"{name:16s} {description}")
+        return 0
     if args.dataset is None:
-        raise SystemExit("engine: a dataset is required unless --list-backends")
+        raise SystemExit(
+            "engine: a dataset is required unless --list-backends/"
+            "--list-decoders"
+        )
     if args.partial:
         return _run_engine_partial(args)
     backend = _resolve_backend(args.backend)
+    decoder = _resolve_decoder(args.decoder)
     pair = _build_pair(args)
     backend_options = {}
     if backend == "sparse":
@@ -431,12 +468,18 @@ def _run_engine(args) -> int:
             "boundary_repair": not args.no_boundary_repair,
         }
     engine = AlignmentEngine(
-        _slot_config(args), backend=backend, backend_options=backend_options
+        _slot_config(args), backend=backend, backend_options=backend_options,
+        decoder=decoder,
     )
     run = engine.run(
         pair.source, pair.target, pair.ground_truth, ks=(1, 5, 10)
     )
     print(f"backend  {backend}")
+    if run.decoded is not None:
+        print(
+            f"decoder  {run.decoded.decoder}  "
+            f"(matched {run.decoded.n_matched}/{run.decoded.n_source})"
+        )
     for stage, seconds in run.stage_seconds.items():
         print(f"{stage:8s} {seconds:.3f}s")
     extras = getattr(run.result, "extras", {})

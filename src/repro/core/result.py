@@ -53,3 +53,17 @@ class AlignmentResult:
     def top_k(self, k: int) -> np.ndarray:
         """Top-k target candidates per source node."""
         return top_k_candidates(self.plan, k)
+
+    def decode(self, decoder: str | None = None):
+        """Decode the plan through the engine's decoder registry.
+
+        Unlike :meth:`matching` (the legacy Eq. (2) strategies, kept
+        for compatibility) this returns a full
+        :class:`~repro.engine.decode.DecodedMatching` — matching plus
+        per-match confidence, shed scores and decode timing — and
+        accepts any registered decoder name (default ``row-argmax``).
+        """
+        # lazy import: repro.engine depends on this result type
+        from repro.engine.decode import DEFAULT_DECODER, decode_plan
+
+        return decode_plan(self, decoder if decoder is not None else DEFAULT_DECODER)

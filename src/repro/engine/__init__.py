@@ -1,6 +1,6 @@
-"""Unified alignment engine: **plan → solve → evaluate**.
+"""Unified alignment engine: **plan → solve → decode → evaluate**.
 
-Every alignment in the library decomposes into three explicit stages:
+Every alignment in the library decomposes into four explicit stages:
 
 1. **plan** (:mod:`repro.engine.planning`) — multi-view base
    construction behind a content-keyed cache, the marginals and the
@@ -9,8 +9,12 @@ Every alignment in the library decomposes into three explicit stages:
    backends: the reference serial ``fused-dense`` portfolio, the
    bitwise-equal stacked ``batched-restart`` portfolio, and the
    ``sparse`` divide-and-conquer pipeline;
-3. **evaluate** (:mod:`repro.engine.evaluate`) — one metric adapter
-   for dense and CSR plans.
+3. **decode** (:mod:`repro.engine.decode`) — a registry of plan
+   decoders (``row-argmax`` / ``mutual-argmax`` / ``hungarian`` /
+   ``mea``) turning the transport-plan posterior into a discrete
+   :class:`DecodedMatching`;
+4. **evaluate** (:mod:`repro.engine.evaluate`) — one metric adapter
+   for dense and CSR plans and decoded matchings.
 
 ``SLOTAlign.fit``, ``DivideAndConquerAligner``'s block solves, the
 experiment drivers and the CLI are all thin shims over
@@ -39,6 +43,15 @@ from repro.engine.backends import (
     register_backend,
 )
 from repro.engine.coalesce import coalescible, solve_coalesced
+from repro.engine.decode import (
+    DEFAULT_DECODER,
+    DecodedMatching,
+    available_decoders,
+    decode_plan,
+    ensure_decoder,
+    get_decoder,
+    register_decoder,
+)
 from repro.engine.evaluate import evaluate_alignment, extract_plan
 from repro.engine.pipeline import AlignmentEngine, EngineRun, align_pair
 
@@ -46,24 +59,31 @@ __all__ = [
     "AlignmentEngine",
     "EngineRun",
     "DEFAULT_BACKEND",
+    "DEFAULT_DECODER",
+    "DecodedMatching",
     "coalescible",
     "solve_coalesced",
     "PlanCache",
     "PreparedProblem",
     "align_pair",
     "available_backends",
+    "available_decoders",
     "backend_kind",
+    "decode_plan",
     "dense_backends",
     "ensure_classical_problem",
+    "ensure_decoder",
     "ensure_dense_backend",
     "evaluate_alignment",
     "extract_plan",
     "feature_similarity_plan",
     "get_backend",
+    "get_decoder",
     "graph_digest",
     "partial_backends",
     "prepare_problem",
     "register_backend",
+    "register_decoder",
     "shared_plan_cache",
     "view_spec",
 ]

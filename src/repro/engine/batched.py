@@ -48,7 +48,9 @@ from repro.core.objective import JointObjective
 from repro.engine.planning import PreparedProblem
 from repro.engine.restarts import (
     RunOutcome,
+    _apply_dedup,
     build_starts,
+    dedup_schedule,
     eta_schedule,
     portfolio_result,
     prune_schedule,
@@ -74,6 +76,7 @@ class _BatchedRun:
     __slots__ = (
         "label", "objective", "alpha", "plan", "history", "iteration",
         "pruned", "pruned_at", "learn_weights", "elapsed",
+        "deduped", "merged_into",
     )
 
     def __init__(self, label, objective, beta0, learn_weights, plan0):
@@ -85,6 +88,8 @@ class _BatchedRun:
         self.iteration = 0
         self.pruned = False
         self.pruned_at = None
+        self.deduped = False
+        self.merged_into = None
         self.learn_weights = learn_weights
         self.elapsed = 0.0
 
@@ -116,9 +121,20 @@ class _LockstepPortfolio:
         }
 
     # ------------------------------------------------------------------
-    def advance(self, runs: list[_BatchedRun], target_iteration: int) -> None:
-        """Step every live run to ``min(target, max_outer_iter)``."""
-        target = min(target_iteration, self.config.max_outer_iter)
+    def advance(
+        self,
+        runs: list[_BatchedRun],
+        target_iteration: int,
+        limit: int | None = None,
+    ) -> None:
+        """Step every live run to ``min(target, max_outer_iter)``.
+
+        ``limit`` overrides the config's outer-iteration cap — the
+        dedup backend passes its extended budget so survivors can
+        spend a merged clone's freed iterations.
+        """
+        cap = self.config.max_outer_iter if limit is None else limit
+        target = min(target_iteration, cap)
         while True:
             active = [
                 run for run in runs
@@ -150,6 +166,8 @@ class _LockstepPortfolio:
             label=run.label,
             pruned=run.pruned,
             iterations=run.iteration,
+            deduped=run.deduped,
+            merged_into=run.merged_into,
         )
 
     # ------------------------------------------------------------------
@@ -388,3 +406,109 @@ class BatchedRestartBackend:
             self.name, outcomes, best, k, checkpoints, phase_timings,
             runtime=timer.elapsed,
         )
+
+
+class BatchedDedupBackend(BatchedRestartBackend):
+    """Lockstep portfolio with restart-trajectory dedup.
+
+    The same stacked-tensor solve as ``batched-restart``, with the
+    :func:`~repro.engine.restarts.dedup_schedule` checkpoints merged
+    into the pruning event stream: restarts whose couplings have
+    converged onto an earlier restart's (within ``dedup_tol`` relative
+    Frobenius distance) are dropped from the stack and their remaining
+    iteration budget is split among the survivors, which may then run
+    past ``max_outer_iter``.  A merge changes which trajectories exist,
+    so this is a separately-registered backend (the registry's
+    never-silently-replace rule); when no merge fires it is bit-for-bit
+    ``batched-restart`` — and, merge for merge, bit-for-bit the serial
+    ``fused-dense-dedup`` portfolio.
+    """
+
+    name = "batched-dedup"
+    kind = "dense"
+
+    def __init__(self, dedup_tol: float = 1e-5, dedup_interval: int | None = None):
+        self.dedup_tol = dedup_tol
+        self.dedup_interval = dedup_interval
+
+    def solve(self, problem: PreparedProblem):
+        from repro.engine.backends import ensure_classical_problem
+
+        cfg = problem.config
+        ensure_classical_problem(problem, self.name)
+        with Timer() as timer:
+            source_bases, target_bases = problem.bases
+            k = len(source_bases)
+            objective = JointObjective(
+                source_bases, target_bases, fused=cfg.fused_contractions
+            )
+            mu, nu = problem.marginals()
+            plan0, informative_init = problem.initial_coupling(mu, nu)
+            starts = build_starts(cfg, k, informative_init)
+            runs = [
+                _BatchedRun(label, objective, beta0, learn, plan0)
+                for label, beta0, learn in starts
+            ]
+            lockstep = _LockstepPortfolio(cfg, mu, nu)
+            checkpoints = prune_schedule(cfg) if len(runs) > 1 else []
+            dedup_points = (
+                dedup_schedule(cfg, self.dedup_interval) if len(runs) > 1 else []
+            )
+            # dedup fires before pruning at a shared iteration, exactly
+            # as in the serial run_portfolio_dedup event stream
+            events = sorted(
+                [(iteration, 0, None) for iteration in dedup_points]
+                + [(iteration, 1, margin) for iteration, margin in checkpoints]
+            )
+            merges: list[dict] = []
+            for iteration, kind, margin in events:
+                lockstep.advance(runs, iteration)
+                if kind == 0:
+                    merges.extend(
+                        _apply_dedup(runs, self.dedup_tol, cfg.max_outer_iter)
+                    )
+                    continue
+                contenders = {
+                    run.label: lockstep.current_objective(run)
+                    for run in runs
+                    if not run.pruned
+                }
+                leader = min(contenders.values())
+                for run in runs:
+                    if (
+                        not run.pruned
+                        and not run.finished
+                        and contenders[run.label] > leader + margin
+                    ):
+                        run.prune()
+            freed = sum(merge["freed"] for merge in merges)
+            survivors = [
+                run for run in runs if not run.pruned and not run.finished
+            ]
+            extension = 0
+            if freed and survivors:
+                extension = min(freed // len(survivors), cfg.max_outer_iter)
+            budget = cfg.max_outer_iter + extension
+            lockstep.advance(runs, budget, limit=budget)
+
+            outcomes = [lockstep.outcome(run) for run in runs]
+            best = select_best(outcomes)
+        phase_timings = {
+            "basis_build": problem.basis_seconds,
+            "alpha_update": lockstep.timings["alpha_update"],
+            "pi_update": lockstep.timings["pi_update"],
+            "objective_eval": lockstep.timings["objective_eval"],
+            "per_restart": {run.label: run.elapsed for run in runs},
+        }
+        result = portfolio_result(
+            self.name, outcomes, best, k, checkpoints, phase_timings,
+            runtime=timer.elapsed,
+        )
+        result.extras["dedup"] = {
+            "tolerance": self.dedup_tol,
+            "checkpoints": dedup_points,
+            "merges": merges,
+            "freed_iterations": freed,
+            "extension": extension,
+        }
+        return result

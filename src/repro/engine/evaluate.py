@@ -1,12 +1,20 @@
-"""Stage 3 of the alignment engine: **evaluate**.
+"""Stage 4 of the alignment engine: **evaluate**.
 
-One adapter consumes whatever a solver backend produced — a dense
-:class:`~repro.core.result.AlignmentResult`, a CSR-backed
-:class:`~repro.scale.aligner.PartitionedAlignment`, or a bare plan
-matrix — and returns the paper's metric dict.  The sparse path never
-densifies (:mod:`repro.eval.metrics` ranks CSR rows analytically and
-is bit-for-bit equal to the dense computation), so callers stop
-branching on the plan representation.
+One adapter consumes whatever the solve (or decode) stage produced — a
+dense :class:`~repro.core.result.AlignmentResult`, a CSR-backed
+:class:`~repro.scale.aligner.PartitionedAlignment`, a
+:class:`~repro.engine.decode.DecodedMatching`, or a bare plan matrix —
+and returns the paper's metric dict.  The sparse path never densifies
+(:mod:`repro.eval.metrics` ranks CSR rows analytically and is
+bit-for-bit equal to the dense computation), so callers stop branching
+on the plan representation.
+
+With ``decoder=None`` (the default) the adapter ranks the plan's
+posterior directly — the pre-decode-stage behaviour, unchanged.  Named
+decoders route through :func:`repro.engine.decode.decode_plan` and the
+:func:`repro.eval.metrics.evaluate_decoded` rank convention; the
+``row-argmax`` decoder's ranking is the posterior's own, so
+``decoder="row-argmax"`` is bitwise-equal to ``decoder=None``.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ def evaluate_alignment(
     ground_truth: np.ndarray,
     ks=(1, 5, 10, 30),
     with_runtime: bool = False,
+    decoder=None,
 ) -> dict[str, float]:
     """Hit@k for every requested ``k`` plus MRR, dense or sparse.
 
@@ -32,7 +41,8 @@ def evaluate_alignment(
     ----------
     result:
         An :class:`AlignmentResult`, a :class:`PartitionedAlignment`,
-        or a raw plan (dense array / scipy sparse matrix).
+        a :class:`DecodedMatching`, or a raw plan (dense array / scipy
+        sparse matrix).
     ground_truth:
         ``t × 2`` array of (source, target) anchor pairs.
     ks:
@@ -40,12 +50,32 @@ def evaluate_alignment(
     with_runtime:
         Also report ``time`` (seconds) when the result carries a
         runtime, matching the Table II/III row shape.
+    decoder:
+        ``None`` ranks the plan posterior directly (the pre-decode
+        path).  A registered decoder name or
+        :class:`~repro.engine.decode.Decoder` instance decodes the
+        plan first and scores through the decoded-rank convention.
+        When ``result`` is already a :class:`DecodedMatching` it is
+        scored as-is and ``decoder`` must be ``None`` (it was chosen
+        at decode time).
     """
     # lazy import: repro.eval's package init pulls in the sweep runner,
     # which itself consumes this adapter
-    from repro.eval.metrics import evaluate_plan
+    from repro.engine.decode import DecodedMatching, decode_plan
+    from repro.eval.metrics import evaluate_decoded, evaluate_plan
 
-    report = evaluate_plan(extract_plan(result), ground_truth, ks=ks)
+    if isinstance(result, DecodedMatching):
+        if decoder is not None:
+            raise ValueError(
+                "result is already decoded; pass decoder=None (the decoder "
+                f"was chosen at decode time: {result.decoder!r})"
+            )
+        report = evaluate_decoded(result, ground_truth, ks=ks)
+    elif decoder is None:
+        report = evaluate_plan(extract_plan(result), ground_truth, ks=ks)
+    else:
+        decoded = decode_plan(result, decoder)
+        report = evaluate_decoded(decoded, ground_truth, ks=ks)
     if with_runtime:
         runtime = getattr(result, "runtime", None)
         if runtime is not None:

@@ -35,7 +35,12 @@ from repro.ot.sinkhorn import sinkhorn_log_kernel_fast
 
 @dataclass
 class RunOutcome:
-    """One restart's final iterates."""
+    """One restart's final iterates.
+
+    ``deduped`` marks a restart dropped by trajectory dedup because its
+    coupling had converged (within tolerance) onto ``merged_into``'s —
+    the restart is also ``pruned`` so downstream selection skips it.
+    """
 
     plan: np.ndarray
     alpha: np.ndarray
@@ -44,6 +49,8 @@ class RunOutcome:
     label: str
     pruned: bool = False
     iterations: int = 0
+    deduped: bool = False
+    merged_into: str | None = None
 
 
 def eta_schedule(config: SLOTAlignConfig, iteration: int) -> float:
@@ -164,6 +171,11 @@ class RestartRun:
         self.iteration = 0
         self.pruned = False
         self.pruned_at: int | None = None
+        self.deduped = False
+        self.merged_into: str | None = None
+        # per-run iteration budget: equals the config cap unless the
+        # dedup portfolio reallocates a merged restart's remainder
+        self.max_iterations = config.max_outer_iter
         self.elapsed = 0.0
         self.timings = {"alpha_update": 0.0, "pi_update": 0.0, "objective_eval": 0.0}
 
@@ -172,7 +184,7 @@ class RestartRun:
     def finished(self) -> bool:
         return (
             self.history.converged
-            or self.iteration >= self.config.max_outer_iter
+            or self.iteration >= self.max_iterations
         )
 
     @property
@@ -180,8 +192,8 @@ class RestartRun:
         return not self.pruned and not self.finished
 
     def step_until(self, target_iteration: int) -> None:
-        """Advance to ``min(target, max_outer_iter)`` or convergence."""
-        target = min(target_iteration, self.config.max_outer_iter)
+        """Advance to ``min(target, max_iterations)`` or convergence."""
+        target = min(target_iteration, self.max_iterations)
         start = time.perf_counter()
         while self.iteration < target and not self.history.converged:
             self._step_once()
@@ -207,6 +219,8 @@ class RestartRun:
             label=self.label,
             pruned=self.pruned,
             iterations=self.iteration,
+            deduped=self.deduped,
+            merged_into=self.merged_into,
         )
 
     # ------------------------------------------------------------------
@@ -326,6 +340,153 @@ def run_portfolio(
     outcomes = [run.outcome() for run in runs]
     best = select_best(outcomes)
     return runs, outcomes, best, checkpoints
+
+
+def plan_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative Frobenius distance between two coupling iterates."""
+    scale = max(
+        float(np.linalg.norm(a)), float(np.linalg.norm(b)), 1e-300
+    )
+    return float(np.linalg.norm(a - b)) / scale
+
+
+def dedup_schedule(config: SLOTAlignConfig, interval: int | None = None) -> list[int]:
+    """Iterations at which the dedup portfolio compares trajectories.
+
+    Every ``interval`` iterations (default: ``portfolio_prune_iter``,
+    or 20 when pruning is disabled) up to — but excluding — the outer
+    budget: a merge at the budget frees nothing.
+    """
+    if interval is None:
+        interval = (
+            config.portfolio_prune_iter
+            if config.portfolio_prune_iter > 0
+            else 20
+        )
+    if interval <= 0:
+        return []
+    return list(range(interval, config.max_outer_iter, interval))
+
+
+def _apply_dedup(runs, tol: float, budget: int) -> list[dict]:  #: pinned
+    """Merge live restarts whose couplings converged within ``tol``.
+
+    Pairwise relative-Frobenius comparison over the non-pruned runs in
+    start order; when two plans sit within ``tol`` the **earlier** run
+    keeps its trajectory and the later one is marked ``deduped`` (and
+    pruned, so selection skips it).  Each merge records the dropped
+    run's remaining iteration budget against ``budget`` — the pool the
+    caller redistributes to the survivors.
+
+    Bitwise-pinned (``repro lint``): the merge criterion decides which
+    trajectories the ``*-dedup`` backends drop, and any change to it
+    changes their outputs.
+    """
+    candidates = [run for run in runs if not run.pruned]
+    merges: list[dict] = []
+    for i, keeper in enumerate(candidates):
+        if keeper.deduped:
+            continue
+        for other in candidates[i + 1:]:
+            if other.deduped:
+                continue
+            distance = plan_distance(keeper.plan, other.plan)
+            if distance <= tol:
+                other.deduped = True
+                other.merged_into = keeper.label
+                other.prune()
+                merges.append({
+                    "kept": keeper.label,
+                    "dropped": other.label,
+                    "iteration": other.iteration,
+                    "distance": distance,
+                    "freed": (
+                        0
+                        if other.history.converged
+                        else max(0, budget - other.iteration)
+                    ),
+                })
+    return merges
+
+
+def run_portfolio_dedup(
+    objective: JointObjective,
+    config: SLOTAlignConfig,
+    plan0: np.ndarray,
+    mu: np.ndarray,
+    nu: np.ndarray,
+    informative_init: bool,
+    run_factory=RestartRun,
+    dedup_tol: float = 1e-5,
+    dedup_interval: int | None = None,
+) -> tuple[list[RestartRun], list[RunOutcome], RunOutcome, list[tuple[int, float]], dict]:
+    """The serial restart portfolio with trajectory dedup (Snippet-3 idiom).
+
+    Identical to :func:`run_portfolio` except that at every
+    :func:`dedup_schedule` checkpoint, restarts whose couplings have
+    converged onto an earlier restart's (relative Frobenius distance
+    ≤ ``dedup_tol``) are dropped, and the iteration budget they would
+    have burned is redistributed: every survivor's ``max_iterations``
+    is extended by ``freed // n_survivors`` (capped at one extra full
+    budget), so the portfolio spends the same total work exploring
+    *distinct* basins instead of stepping clones.
+
+    A merge changes which trajectories exist (and survivors may run
+    past ``max_outer_iter``), so results can differ from
+    :func:`run_portfolio` — this function therefore backs the
+    separately-registered ``fused-dense-dedup`` backend; with no merge
+    firing the trajectories are bit-for-bit the classical portfolio's.
+    """
+    starts = build_starts(config, objective.n_bases, informative_init)
+    runs = [
+        run_factory(objective, config, beta0, learn, plan0, mu, nu, label)
+        for label, beta0, learn in starts
+    ]
+    checkpoints = prune_schedule(config) if len(runs) > 1 else []
+    dedup_points = dedup_schedule(config, dedup_interval) if len(runs) > 1 else []
+    # one merged event stream; at a shared iteration dedup fires first
+    # (kind 0) so the prune comparison never ranks a known clone
+    events = sorted(
+        [(iteration, 0, None) for iteration in dedup_points]
+        + [(iteration, 1, margin) for iteration, margin in checkpoints]
+    )
+    merges: list[dict] = []
+    for iteration, kind, margin in events:
+        for run in runs:
+            if run.active:
+                run.step_until(iteration)
+        if kind == 0:
+            merges.extend(_apply_dedup(runs, dedup_tol, config.max_outer_iter))
+            continue
+        contenders = {
+            run.label: run.current_objective()
+            for run in runs
+            if not run.pruned
+        }
+        leader = min(contenders.values())
+        for run in runs:
+            if run.active and contenders[run.label] > leader + margin:
+                run.prune()
+    freed = sum(merge["freed"] for merge in merges)
+    survivors = [run for run in runs if run.active]
+    extension = 0
+    if freed and survivors:
+        extension = min(freed // len(survivors), config.max_outer_iter)
+        for run in survivors:
+            run.max_iterations = config.max_outer_iter + extension
+    for run in runs:
+        if run.active:
+            run.step_until(run.max_iterations)
+    outcomes = [run.outcome() for run in runs]
+    best = select_best(outcomes)
+    dedup_info = {
+        "tolerance": dedup_tol,
+        "checkpoints": dedup_points,
+        "merges": merges,
+        "freed_iterations": freed,
+        "extension": extension,
+    }
+    return runs, outcomes, best, checkpoints, dedup_info
 
 
 def portfolio_phase_timings(runs: list[RestartRun], basis_seconds: float) -> dict:

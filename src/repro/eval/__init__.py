@@ -4,6 +4,8 @@ from repro.eval.metrics import (
     hits_at_k,
     mean_reciprocal_rank,
     alignment_accuracy,
+    decoded_ranks,
+    evaluate_decoded,
     evaluate_plan,
     sparse_topk,
     unmatchable_detection,
@@ -20,6 +22,7 @@ from repro.eval.aggregate import AggregateResult, repeat_evaluation, format_aggr
 from repro.eval.fidelity import (
     fidelity_margin,
     format_fidelity,
+    record_decoders,
     record_fidelity,
     record_partial,
 )
@@ -28,6 +31,8 @@ __all__ = [
     "hits_at_k",
     "mean_reciprocal_rank",
     "alignment_accuracy",
+    "decoded_ranks",
+    "evaluate_decoded",
     "evaluate_plan",
     "sparse_topk",
     "unmatchable_detection",
@@ -43,6 +48,7 @@ __all__ = [
     "format_aggregates",
     "fidelity_margin",
     "format_fidelity",
+    "record_decoders",
     "record_fidelity",
     "record_partial",
 ]

@@ -150,6 +150,57 @@ def record_partial(
     return cohort
 
 
+def record_decoders(
+    pairs: dict[str, dict[str, dict[str, float]]],
+    dataset_scale: float | None = None,
+    baseline_decoder: str = "row-argmax",
+    path: Path | None = None,
+) -> dict:
+    """Merge a decoder-comparison cohort into ``BENCH_fidelity.json``.
+
+    ``pairs`` maps bench-pair name → decoder name → metric dict (the
+    ``evaluate_decoded`` report shape).  The solver runs *once* per
+    pair; every decoder consumes the same plan, so the cohort measures
+    decode quality at zero solver cost.  Each pair entry is stamped
+    with ``improved_over_baseline``: the decoders that beat
+    ``baseline_decoder`` on Hit@1 or MRR — the ledger behind the
+    PR-9 acceptance gate (``compare_bench.check_decoders`` requires at
+    least two pairs where some decoder improves on row-argmax).
+    """
+    path = FIDELITY_JSON if path is None else Path(path)
+    cohort: dict = {"baseline_decoder": baseline_decoder, "pairs": {}}
+    if dataset_scale is not None:
+        cohort["dataset_scale"] = float(dataset_scale)
+    for pair_name, decoders in pairs.items():
+        base = decoders.get(baseline_decoder)
+        if base is None:
+            raise KeyError(
+                f"pair {pair_name!r} lacks the baseline decoder "
+                f"{baseline_decoder!r} ({sorted(decoders)})"
+            )
+        improved = sorted(
+            name
+            for name, report in decoders.items()
+            if name != baseline_decoder
+            and (
+                report.get("hits@1", 0.0) > base.get("hits@1", 0.0)
+                or report.get("mrr", 0.0) > base.get("mrr", 0.0)
+            )
+        )
+        cohort["pairs"][pair_name] = {
+            "decoders": {
+                name: dict(report) for name, report in decoders.items()
+            },
+            "improved_over_baseline": improved,
+        }
+    payload = _load_artifact(path)
+    payload.setdefault("metric", METRIC)
+    payload.setdefault("tables", {})
+    payload["decoders"] = cohort
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return cohort
+
+
 def format_fidelity(path: Path | None = None) -> str:
     """One-line-per-table rendering of the current artefact."""
     path = FIDELITY_JSON if path is None else Path(path)

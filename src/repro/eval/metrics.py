@@ -178,6 +178,76 @@ def evaluate_plan(
     return report
 
 
+def decoded_ranks(decoded, gt: np.ndarray) -> np.ndarray:  #: pinned
+    """Per-ground-truth-pair mid-ranks of a decoded matching.
+
+    For ``posterior_ranked`` decodings (row-argmax) the decoder's
+    candidate ordering *is* the plan's own, so the ranks are exactly
+    :func:`_rank_true_targets` on the plan — the pre-decode-stage
+    evaluate path, bit for bit (pinned by ``repro lint``).
+
+    For every other decoder the discrete matching overrides the
+    posterior at rank 0: the matched cell is promoted to the front of
+    its row's ranking and the remaining candidates keep the plan's
+    mid-rank order behind it.  Concretely, relative to the plan
+    mid-rank ``base`` of the true target:
+
+    * decoder matched the true target → rank 0 (a Hit@1);
+    * decoder left the source unmatched → ``max(base, 1)`` — an
+      unmatch hypothesis occupies rank 0, everything else shifts
+      behind it;
+    * decoder matched a different target → ``base`` plus the promoted
+      cell's displacement (0 when the plan already ranked it above the
+      true target, 0.5 when they tied, 1 when it was below).
+
+    Under this convention ``mean(rank < 1)`` is exactly the decoder's
+    discrete matching accuracy, while Hit@k for k > 1 and MRR still
+    reward a posterior that kept the true target near the front.
+    """
+    plan = decoded.plan
+    if decoded.posterior_ranked:
+        return _rank_true_targets(plan, gt)
+    # lazy import: decode.py lazily imports this module for sparse_topk
+    from repro.engine.decode import _cell_scores
+
+    base = _rank_true_targets(plan, gt)
+    matched_col = decoded.matching[gt[:, 0]]
+    true_scores = _cell_scores(plan, gt[:, 0], gt[:, 1])
+    ranks = np.maximum(base, 1.0)  # default: unmatched source rows
+    matched = matched_col >= 0
+    if np.any(matched):
+        m_scores = _cell_scores(plan, gt[matched, 0], matched_col[matched])
+        displaced = (
+            base[matched]
+            + np.where(m_scores > true_scores[matched], 0.0, 0.5)
+            + np.where(m_scores < true_scores[matched], 0.5, 0.0)
+        )
+        ranks[matched] = displaced
+    ranks[matched_col == gt[:, 1]] = 0.0
+    return ranks
+
+
+def evaluate_decoded(
+    decoded, ground_truth: np.ndarray, ks=(1, 5, 10, 30)
+) -> dict[str, float]:
+    """Hit@k plus MRR of a :class:`DecodedMatching`, as a flat dict.
+
+    The same report shape as :func:`evaluate_plan`, computed from
+    :func:`decoded_ranks` — on ``posterior_ranked`` decodings the two
+    are bitwise-identical.
+    """
+    for k in ks:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+    _, gt = _validate(decoded.plan, ground_truth)
+    if gt.shape[0] == 0:
+        return {f"hits@{k}": 0.0 for k in ks} | {"mrr": 0.0}
+    rank = decoded_ranks(decoded, gt)
+    report = {f"hits@{k}": float(np.mean(rank < k) * 100.0) for k in ks}
+    report["mrr"] = float(np.mean(1.0 / (rank + 1.0)))
+    return report
+
+
 def unmatchable_detection(
     scores: np.ndarray,
     matchable_mask: np.ndarray,

@@ -49,8 +49,13 @@ def run_structure_sweep(
     levels,
     seed=0,
     k: int = 1,
+    decoder: str | None = None,
 ) -> list[SweepResult]:
-    """Hit@k of each aligner as edge perturbation grows (Fig. 6 protocol)."""
+    """Hit@k of each aligner as edge perturbation grows (Fig. 6 protocol).
+
+    ``decoder`` selects the decode stage applied to every method's
+    plan (``None`` scores the raw posterior, the paper's protocol).
+    """
     return _run_sweep(
         graph,
         aligners,
@@ -60,6 +65,7 @@ def run_structure_sweep(
         pair_builder=lambda g, level, s: make_semi_synthetic_pair(
             g, edge_noise=level, seed=s
         ),
+        decoder=decoder,
     )
 
 
@@ -71,6 +77,7 @@ def run_feature_sweep(
     edge_noise: float = 0.25,
     seed=0,
     k: int = 1,
+    decoder: str | None = None,
 ) -> list[SweepResult]:
     """Hit@k under a feature transformation at fixed edge noise (Fig. 7).
 
@@ -94,10 +101,11 @@ def run_feature_sweep(
             feature_noise=level,
             seed=seed,
         ),
+        decoder=decoder,
     )
 
 
-def _run_sweep(graph, aligners, levels, seed, k, pair_builder):
+def _run_sweep(graph, aligners, levels, seed, k, pair_builder, decoder=None):
     levels = [float(level) for level in levels]
     seeds = spawn_seeds(seed, len(levels))
     results = {
@@ -108,8 +116,11 @@ def _run_sweep(graph, aligners, levels, seed, k, pair_builder):
         pair = pair_builder(graph, level, level_seed)
         for name, aligner in aligners.items():
             outcome = aligner.fit(pair.source, pair.target)
-            # the engine's stage-3 adapter: dense and CSR plans alike
-            report = evaluate_alignment(outcome, pair.ground_truth, ks=(k,))
+            # the engine's stage-3/4 adapter: dense and CSR plans
+            # alike, optionally routed through a registered decoder
+            report = evaluate_alignment(
+                outcome, pair.ground_truth, ks=(k,), decoder=decoder
+            )
             results[name].hits.append(report[f"hits@{k}"])
             results[name].runtimes.append(outcome.runtime)
     return list(results.values())
@@ -124,6 +135,7 @@ def run_partial_sweep(
     seed=0,
     ks=(1, 5, 10),
     threshold: float = 0.5,
+    decoder: str | None = None,
 ) -> list[dict]:
     """Partial-alignment quality over overlap × anchor fractions.
 
@@ -157,7 +169,7 @@ def run_partial_sweep(
                 partial_mass=float(pair.source_matchable.mean()),
             )
             anchors = pair.anchors if pair.anchors.size else None
-            engine = AlignmentEngine(cfg, backend=backend)
+            engine = AlignmentEngine(cfg, backend=backend, decoder=decoder)
             run = engine.run(
                 pair.source, pair.target, pair.ground_truth,
                 ks=ks, anchors=anchors,
@@ -184,13 +196,19 @@ def run_partial_sweep(
     return points
 
 
-def evaluate_on_pair(aligners: dict, pair: AlignmentPair, ks=(1, 5, 10, 30)) -> dict:
+def evaluate_on_pair(
+    aligners: dict,
+    pair: AlignmentPair,
+    ks=(1, 5, 10, 30),
+    decoder: str | None = None,
+) -> dict:
     """Hit@k table + runtime for a fixed pair (Table II/III protocol)."""
     table: dict[str, dict[str, float]] = {}
     for name, aligner in aligners.items():
         outcome = aligner.fit(pair.source, pair.target)
         row = evaluate_alignment(
-            outcome, pair.ground_truth, ks=ks, with_runtime=True
+            outcome, pair.ground_truth, ks=ks, with_runtime=True,
+            decoder=decoder,
         )
         row.pop("mrr", None)  # the paper's tables report Hit@k + time only
         table[name] = row

@@ -58,12 +58,17 @@ class ExperimentScale:
     selects the dense solver backend every SLOTAlign variant routes
     through (``fused-dense`` / ``batched-restart`` — outputs are
     bitwise-identical, so the choice is purely a wall-clock knob).
+    ``decoder`` selects the decode stage every sweep/table evaluation
+    routes its plans through (a registered decoder name); ``None``
+    scores the raw posterior, which is the paper's protocol and
+    bitwise-identical to the pre-decode-stage pipeline.
     """
 
     dataset_scale: float = 0.07
     fast: bool = True
     seed: int = 0
     engine_backend: str = "fused-dense"
+    decoder: str | None = None
 
     @property
     def gnn_epochs(self) -> int:

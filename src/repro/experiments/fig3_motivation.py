@@ -33,7 +33,8 @@ def run_fig3(scale: ExperimentScale | None = None) -> dict:
         "KNN": KNNAligner(),
     }
     structure = run_structure_sweep(
-        graph, aligners, STRUCTURE_LEVELS, seed=scale.seed
+        graph, aligners, STRUCTURE_LEVELS, seed=scale.seed,
+        decoder=scale.decoder,
     )
     feature = run_feature_sweep(
         graph,
@@ -42,5 +43,6 @@ def run_fig3(scale: ExperimentScale | None = None) -> dict:
         transform="permutation",
         edge_noise=0.25,
         seed=scale.seed,
+        decoder=scale.decoder,
     )
     return {"structure": structure, "feature": feature}

@@ -44,6 +44,6 @@ def run_fig6(
         graph = DATASET_BUILDERS[name](scale.dataset_scale)
         aligners = default_aligners(scale, include=methods)
         output[name] = run_structure_sweep(
-            graph, aligners, levels, seed=scale.seed
+            graph, aligners, levels, seed=scale.seed, decoder=scale.decoder
         )
     return output

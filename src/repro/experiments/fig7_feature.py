@@ -44,5 +44,6 @@ def run_fig7(
                 transform=transform,
                 edge_noise=EDGE_NOISE,
                 seed=scale.seed,
+                decoder=scale.decoder,
             )
     return output

@@ -78,6 +78,7 @@ def run_partial_overlap(
                 backend=backend,
                 config=config,
                 seed=scale.seed,
+                decoder=scale.decoder,
             )
         )
     # the reference rebuilds the overlap=1.0 pair from the *same* level

@@ -10,11 +10,17 @@ from __future__ import annotations
 
 import argparse
 
-from repro.engine import ensure_dense_backend
-from repro.eval.fidelity import format_fidelity, record_fidelity, record_partial
+from repro.engine import ensure_decoder, ensure_dense_backend
+from repro.eval.fidelity import (
+    format_fidelity,
+    record_decoders,
+    record_fidelity,
+    record_partial,
+)
 from repro.exceptions import ConfigError
 from repro.eval.reporting import format_sweep, format_table
 from repro.experiments.config import ExperimentScale
+from repro.experiments.decoders import format_decoders, run_decoder_comparison
 from repro.experiments.fig3_motivation import run_fig3
 from repro.experiments.partial_overlap import format_partial, run_partial_overlap
 from repro.experiments.fig6_structure import run_fig6
@@ -30,7 +36,7 @@ from repro.experiments.table3_dbp15k import run_table3
 
 EXPERIMENTS = (
     "fig3", "fig6", "fig7", "table2", "table3", "fig8", "scale", "fidelity",
-    "serve", "partial",
+    "serve", "partial", "decoders",
 )
 
 
@@ -52,16 +58,24 @@ def main(argv=None) -> int:
         help="dense engine backend for every SLOTAlign solve "
         "(fused-dense / batched-restart; outputs are bitwise-identical)",
     )
+    parser.add_argument(
+        "--decoder", default=None,
+        help="decode stage applied to every evaluated plan (a "
+        "registered decoder name); default scores the raw posterior, "
+        "the paper's protocol",
+    )
     args = parser.parse_args(argv)
     try:
         # the experiment drivers run whole-pair dense solves; this also
         # names the valid choices on unknown names (no bare KeyError)
         ensure_dense_backend(args.backend, "the experiment runner")
+        if args.decoder is not None:
+            ensure_decoder(args.decoder)
     except ConfigError as exc:
         raise SystemExit(str(exc)) from exc
     scale = ExperimentScale(
         dataset_scale=args.scale, fast=not args.full, seed=args.seed,
-        engine_backend=args.backend,
+        engine_backend=args.backend, decoder=args.decoder,
     )
     print(run_experiment(args.experiment, scale))
     return 0
@@ -136,6 +150,10 @@ def run_experiment(name: str, scale: ExperimentScale) -> str:
             full_bijective_hits1=out["full_bijective_hits1"],
         )
         return format_partial(out)
+    if name == "decoders":
+        cohort = run_decoder_comparison(scale)
+        record_decoders(cohort, dataset_scale=scale.dataset_scale)
+        return format_decoders(cohort)
     if name == "fig8":
         out = run_fig8(scale)
         chunks = []

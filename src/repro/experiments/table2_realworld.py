@@ -58,5 +58,7 @@ def run_table2(
             aligners["SLOTAlign"] = slotalign_real_world(scale)
         if with_ablations:
             aligners.update(ablation_aligners(scale))
-        output[name] = evaluate_on_pair(aligners, pair, ks=KS)
+        output[name] = evaluate_on_pair(
+            aligners, pair, ks=KS, decoder=scale.decoder
+        )
     return output

@@ -110,6 +110,18 @@ class PartitionedAlignment:
         cols, _ = self.top_k(1)
         return cols[:, 0]
 
+    def decode(self, decoder: str | None = None):
+        """Decode the stitched CSR plan through the decoder registry.
+
+        Every registered decoder consumes the sparse plan directly —
+        the Hungarian decoder solves the sparse bipartite assignment,
+        the MEA sweep walks stored entries — so this never densifies
+        (the no-densify lint rule applies to this module).
+        """
+        from repro.engine.decode import DEFAULT_DECODER, decode_plan
+
+        return decode_plan(self, decoder if decoder is not None else DEFAULT_DECODER)
+
     @property
     def n_parts(self) -> int:
         return len(self.partitions)

@@ -60,6 +60,10 @@ class Job:
     ground_truth: np.ndarray | None = None
     init_plan: np.ndarray | None = None
     tag: str | None = None
+    # decoder applied to this job's solved plan, or None to score the
+    # plan posterior directly; a per-job *post-solve* concern, so it is
+    # deliberately absent from the coalescing compatibility key
+    decoder: str | None = None
     job_id: int = field(default_factory=lambda: next(_JOB_IDS))
     state: JobState = JobState.QUEUED
     result: object = None

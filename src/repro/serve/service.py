@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.config import SLOTAlignConfig
 from repro.engine.backends import DEFAULT_BACKEND, backend_kind, get_backend
 from repro.engine.coalesce import solve_coalesced
+from repro.engine.decode import ensure_decoder, get_decoder
 from repro.engine.evaluate import evaluate_alignment
 from repro.engine.pipeline import EngineRun
 from repro.engine.planning import (
@@ -88,6 +89,13 @@ class AlignmentService:
         Largest number of jobs one coalesced solve may absorb.
     evaluate_ks:
         ``k`` values for Hits@k when a job carries ground truth.
+    decoder:
+        Default decoder applied to every solved plan (jobs may
+        override per-submit).  ``None`` skips the decode stage and
+        scores the plan posterior directly — the pre-decode service,
+        bit for bit.  Decoding is per-job and post-solve, so it never
+        enters the coalescing compatibility key: jobs wanting
+        different decoders still share one stacked solve.
     """
 
     def __init__(
@@ -100,6 +108,7 @@ class AlignmentService:
         coalesce: bool = True,
         max_batch: int = 8,
         evaluate_ks=(1, 5, 10, 30),
+        decoder: str | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -115,7 +124,13 @@ class AlignmentService:
         self.coalesce = coalesce and backend_kind(backend) == "dense"
         self.max_batch = max_batch
         self.evaluate_ks = tuple(evaluate_ks)
+        self.decoder = ensure_decoder(decoder) if decoder is not None else None
         self._queue = JobQueue()
+        self._decoder_lock = threading.Lock()
+        # decoder instances are stateless but construction goes through
+        # the registry; memoised per name so the per-job decode stage
+        # does one dict hit instead of a registry lookup
+        self._decoders: dict = {}  #: guarded-by: _decoder_lock
         self._lifecycle_lock = threading.Lock()
         self._threads: list[threading.Thread] = []  #: guarded-by: _lifecycle_lock
         self._stats_lock = threading.Lock()
@@ -179,12 +194,16 @@ class AlignmentService:
         ground_truth: np.ndarray | None = None,
         init_plan: np.ndarray | None = None,
         tag: str | None = None,
+        decoder: str | None = None,
     ) -> Job:
         """Enqueue one alignment request and return its job handle.
 
         Admission control runs here: an over-budget request returns a
         job already in state ``REJECTED`` (with ``error`` naming the
-        violated budget) and never enters the queue.
+        violated budget) and never enters the queue.  ``decoder``
+        overrides the service default for this job only; unknown names
+        fail *here*, synchronously, with the registry's choice-naming
+        error.
         """
         job = Job(
             source=source,
@@ -193,6 +212,9 @@ class AlignmentService:
             ground_truth=ground_truth,
             init_plan=init_plan,
             tag=tag,
+            decoder=(
+                ensure_decoder(decoder) if decoder is not None else self.decoder
+            ),
         )
         with self._stats_lock:
             self._counters["submitted"] += 1
@@ -229,6 +251,15 @@ class AlignmentService:
 
     # ------------------------------------------------------------------
     # worker side
+    def _decoder_for(self, name: str):
+        """Memoised decoder instance for ``name`` (worker threads race)."""
+        with self._decoder_lock:
+            instance = self._decoders.get(name)
+            if instance is None:
+                instance = get_decoder(name)
+                self._decoders[name] = instance
+        return instance
+
     def _compatible(self, head: Job, other: Job) -> bool:
         return (
             other.config == head.config
@@ -297,25 +328,44 @@ class AlignmentService:
 
         for (job, problem, plan_seconds), result in zip(planned, results):
             t0 = time.perf_counter()
+            decoded = None
+            try:
+                # decode is per-job (jobs in one coalesced batch may
+                # use different decoders) and post-solve, so a bad
+                # plan shape fails this job alone
+                if job.decoder is not None:
+                    decoded = self._decoder_for(job.decoder).decode(
+                        result.plan
+                    )
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                self._finish_failed(job, f"decode failed: {exc!r}")
+                continue
+            t_decode = time.perf_counter()
             try:
                 metrics: dict[str, float] = {}
                 if job.ground_truth is not None:
                     metrics = evaluate_alignment(
-                        result, job.ground_truth, ks=self.evaluate_ks
+                        decoded if decoded is not None else result,
+                        job.ground_truth,
+                        ks=self.evaluate_ks,
                     )
             except Exception as exc:  # noqa: BLE001 - job isolation
                 self._finish_failed(job, f"evaluate failed: {exc!r}")
                 continue
+            stage_seconds = {
+                "plan": plan_seconds,
+                # one lockstep solve advances the whole batch; each
+                # job is billed the shared batch wall-clock
+                "solve": solve_seconds,
+            }
+            if decoded is not None:
+                stage_seconds["decode"] = t_decode - t0
+            stage_seconds["evaluate"] = time.perf_counter() - t_decode
             run = EngineRun(
                 result=result,
                 metrics=metrics,
-                stage_seconds={
-                    "plan": plan_seconds,
-                    # one lockstep solve advances the whole batch; each
-                    # job is billed the shared batch wall-clock
-                    "solve": solve_seconds,
-                    "evaluate": time.perf_counter() - t0,
-                },
+                stage_seconds=stage_seconds,
+                decoded=decoded,
             )
             job.mark_done(run, batch_size=len(planned))
             with self._stats_lock:

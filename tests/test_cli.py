@@ -140,3 +140,29 @@ class TestEngineCommand:
                 ["align", "cora", "--method", "knn",
                  "--backend", "batched-restart"]
             )
+
+
+class TestDecoderCLI:
+    def test_list_decoders(self, capsys):
+        assert main(["engine", "--list-decoders"]) == 0
+        out = capsys.readouterr().out
+        for name in ("row-argmax", "mutual-argmax", "hungarian", "mea"):
+            assert name in out
+
+    def test_engine_decoder_flag_prints_the_decode_stage(self, capsys):
+        code = main(
+            [
+                "engine", "cora",
+                "--scale", "0.02", "--iters", "20",
+                "--decoder", "mea",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decoder  mea" in out
+        assert "decode" in out
+        assert "hits@1" in out
+
+    def test_unknown_decoder_names_choices(self):
+        with pytest.raises(SystemExit, match="valid decoders.*hungarian"):
+            main(["engine", "cora", "--decoder", "viterbi"])

@@ -1,0 +1,261 @@
+"""Tests for restart-trajectory dedup (PR 9).
+
+The ``fused-dense-dedup`` / ``batched-dedup`` backends drop restarts
+whose couplings have converged onto an earlier restart's (relative
+Frobenius distance within ``dedup_tol``) and redistribute the freed
+iteration budget to the survivors.  Per the registry's
+never-silently-replace rule they are **new names** next to
+``fused-dense`` / ``batched-restart``; the pinned contract is that
+with dedup off (``dedup_tol=0``) each one is bit-for-bit its base
+backend.  Covers the :func:`dedup_schedule` / :func:`plan_distance`
+units, the pinned :func:`_apply_dedup` merge criterion (start-order
+keeper, freed-budget bookkeeping, converged runs freeing nothing),
+the dedup-off bitwise parity, forced-merge bookkeeping end to end,
+and serial-vs-batched dedup parity.
+"""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import SLOTAlignConfig
+from repro.datasets import make_semi_synthetic_pair
+from repro.engine import AlignmentEngine, available_backends
+from repro.engine.restarts import _apply_dedup, dedup_schedule, plan_distance
+from repro.graphs import stochastic_block_model
+from repro.graphs.features import community_bag_of_words
+
+CFG = SLOTAlignConfig(
+    n_bases=2, structure_lr=0.1, max_outer_iter=60, sinkhorn_iter=40,
+    track_history=True,
+)
+
+#: (base backend, dedup twin) — dedup-off must be bitwise the base
+PAIRS = (
+    ("fused-dense", "fused-dense-dedup"),
+    ("batched-restart", "batched-dedup"),
+)
+
+
+def bench_pair(seed=0, n_per_block=11):
+    graph = stochastic_block_model([n_per_block] * 3, 0.35, 0.02, seed=seed)
+    feats = community_bag_of_words(
+        graph.node_labels, 30, words_per_node=6, seed=seed + 1
+    )
+    graph = graph.with_features(feats)
+    graph.node_labels = None
+    return make_semi_synthetic_pair(graph, edge_noise=0.2, seed=seed + 2)
+
+
+def solve(pair, backend, **backend_options):
+    return AlignmentEngine(
+        CFG, backend=backend, cache=None,
+        backend_options=backend_options or None,
+    ).align(pair.source, pair.target)
+
+
+class TestRegistry:
+    def test_dedup_backends_are_new_names_beside_the_bases(self):
+        backends = available_backends()
+        for base, dedup in PAIRS:
+            assert base in backends, "base backend silently replaced"
+            assert dedup in backends
+            assert "dedup" in backends[dedup]
+
+
+class TestPlanDistance:
+    def test_identical_plans_are_at_distance_zero(self):
+        plan = np.random.default_rng(0).random((6, 6))
+        assert plan_distance(plan, plan) == 0.0
+        assert plan_distance(np.zeros((3, 3)), np.zeros((3, 3))) == 0.0
+
+    def test_relative_frobenius_value(self):
+        a = np.eye(4)
+        b = 2.0 * np.eye(4)
+        # ‖a − b‖ = 2, scale = max(‖a‖, ‖b‖) = 4
+        assert plan_distance(a, b) == 0.5
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random((5, 7)), rng.random((5, 7))
+        assert plan_distance(a, b) == plan_distance(b, a)
+
+
+class TestDedupSchedule:
+    def test_explicit_interval_excludes_the_budget(self):
+        assert dedup_schedule(CFG, 20) == [20, 40]
+        assert dedup_schedule(CFG, 30) == [30]  # 60 would free nothing
+
+    def test_defaults_to_the_prune_interval(self):
+        cfg = replace(CFG, portfolio_prune_iter=25, max_outer_iter=100)
+        assert dedup_schedule(cfg) == [25, 50, 75]
+
+    def test_falls_back_to_twenty_when_pruning_is_disabled(self):
+        cfg = replace(CFG, portfolio_prune_iter=0, max_outer_iter=70)
+        assert dedup_schedule(cfg) == [20, 40, 60]
+
+    def test_degenerate_intervals_yield_no_checkpoints(self):
+        assert dedup_schedule(CFG, 0) == []
+        assert dedup_schedule(CFG, -5) == []
+        assert dedup_schedule(CFG, CFG.max_outer_iter) == []
+
+
+def stub_run(label, plan, iteration=20, converged=False, pruned=False):
+    run = SimpleNamespace(
+        label=label, plan=plan, iteration=iteration, pruned=pruned,
+        deduped=False, merged_into=None,
+        history=SimpleNamespace(converged=converged),
+    )
+    run.prune = lambda: setattr(run, "pruned", True)
+    return run
+
+
+class TestApplyDedup:
+    """Unit contract of the pinned merge criterion."""
+
+    def test_merges_into_the_earliest_run_in_start_order(self):
+        plan = np.full((4, 4), 0.25)
+        runs = [stub_run(label, plan.copy()) for label in ("a", "b", "c")]
+        merges = _apply_dedup(runs, tol=1e-9, budget=60)
+        assert [(m["kept"], m["dropped"]) for m in merges] == [
+            ("a", "b"), ("a", "c")
+        ]
+        assert not runs[0].deduped and not runs[0].pruned
+        for run in runs[1:]:
+            assert run.deduped and run.pruned
+            assert run.merged_into == "a"
+
+    def test_tolerance_is_inclusive(self):
+        a = np.full((4, 4), 0.25)
+        b = a + 1e-6
+        distance = plan_distance(a, b)
+        runs = [stub_run("a", a), stub_run("b", b)]
+        assert _apply_dedup(runs, tol=distance * 0.99, budget=60) == []
+        assert not runs[1].deduped
+        merges = _apply_dedup(runs, tol=distance, budget=60)
+        assert len(merges) == 1
+        assert merges[0]["distance"] == distance
+
+    def test_freed_budget_bookkeeping(self):
+        plan = np.full((4, 4), 0.25)
+        runs = [
+            stub_run("a", plan.copy(), iteration=20),
+            stub_run("b", plan.copy(), iteration=20),
+            stub_run("c", plan.copy(), iteration=20, converged=True),
+            stub_run("d", plan.copy(), iteration=80),
+        ]
+        merges = _apply_dedup(runs, tol=1e-9, budget=60)
+        freed = {m["dropped"]: m["freed"] for m in merges}
+        assert freed == {
+            "b": 40,  # budget 60 − iteration 20
+            "c": 0,   # converged: its remaining budget was never owed
+            "d": 0,   # already past the budget
+        }
+
+    def test_pruned_runs_are_not_candidates(self):
+        plan = np.full((4, 4), 0.25)
+        runs = [
+            stub_run("a", plan.copy(), pruned=True),
+            stub_run("b", plan.copy()),
+            stub_run("c", plan.copy()),
+        ]
+        merges = _apply_dedup(runs, tol=1e-9, budget=60)
+        # "a" is out of the pool entirely: "b" becomes the keeper
+        assert [(m["kept"], m["dropped"]) for m in merges] == [("b", "c")]
+        assert not runs[0].deduped
+
+
+class TestDedupOffBitwise:
+    """Satellite 3: ``dedup_tol=0`` IS the base backend, bit for bit."""
+
+    @pytest.mark.parametrize("base,dedup", PAIRS)
+    def test_tol_zero_matches_the_base_backend(self, base, dedup):
+        pair = bench_pair(seed=0)
+        ref = solve(pair, base)
+        out = solve(pair, dedup, dedup_tol=0.0)
+        np.testing.assert_array_equal(ref.plan, out.plan)
+        np.testing.assert_array_equal(
+            ref.extras["beta_source"], out.extras["beta_source"]
+        )
+        np.testing.assert_array_equal(
+            ref.extras["beta_target"], out.extras["beta_target"]
+        )
+        assert ref.extras["objective"] == out.extras["objective"]
+        assert ref.extras["selected_start"] == out.extras["selected_start"]
+        assert ref.extras["start_objectives"] == out.extras["start_objectives"]
+        assert (
+            ref.extras["portfolio"]["iterations"]
+            == out.extras["portfolio"]["iterations"]
+        )
+        info = out.extras["dedup"]
+        assert info["merges"] == []
+        assert info["freed_iterations"] == 0
+        assert info["extension"] == 0
+
+    def test_tol_zero_matches_under_pruning(self):
+        pair = bench_pair(seed=1)
+        cfg = replace(CFG, anneal=False, portfolio_prune_iter=10)
+        ref = AlignmentEngine(cfg, backend="fused-dense", cache=None).align(
+            pair.source, pair.target
+        )
+        out = AlignmentEngine(
+            cfg, backend="fused-dense-dedup", cache=None,
+            backend_options={"dedup_tol": 0.0},
+        ).align(pair.source, pair.target)
+        np.testing.assert_array_equal(ref.plan, out.plan)
+        assert ref.extras["portfolio"] == {
+            k: v for k, v in out.extras["portfolio"].items()
+            if k in ref.extras["portfolio"]
+        }
+
+
+class TestForcedMerge:
+    """An over-wide tolerance collapses the portfolio at the first
+    checkpoint: every later start merges into the first, their budget
+    is freed, and the lone survivor runs with the (capped) extension."""
+
+    OPTIONS = {"dedup_tol": 10.0, "dedup_interval": 20}
+
+    def expected_shape(self, info, n_runs):
+        assert info["tolerance"] == 10.0
+        assert info["checkpoints"] == [20, 40]
+        merges = info["merges"]
+        assert len(merges) == n_runs - 1
+        keeper = merges[0]["kept"]
+        for merge in merges:
+            assert merge["kept"] == keeper
+            assert merge["iteration"] == 20
+            assert merge["freed"] == CFG.max_outer_iter - 20
+        assert info["freed_iterations"] == (n_runs - 1) * 40
+        # one survivor inherits everything, capped at one extra budget
+        assert info["extension"] == min(
+            info["freed_iterations"], CFG.max_outer_iter
+        )
+        return keeper
+
+    def test_merge_bookkeeping(self):
+        pair = bench_pair(seed=0)
+        out = solve(pair, "fused-dense-dedup", **self.OPTIONS)
+        iterations = out.extras["portfolio"]["iterations"]
+        keeper = self.expected_shape(out.extras["dedup"], len(iterations))
+        assert out.extras["selected_start"] == keeper
+        # survivor ran into the extension; the merged runs stopped at
+        # the checkpoint that dropped them
+        assert iterations[keeper] > CFG.max_outer_iter
+        for label, n_iter in iterations.items():
+            if label != keeper:
+                assert n_iter == 20
+
+    def test_serial_and_batched_dedup_agree(self):
+        pair = bench_pair(seed=0)
+        serial = solve(pair, "fused-dense-dedup", **self.OPTIONS)
+        batched = solve(pair, "batched-dedup", **self.OPTIONS)
+        np.testing.assert_array_equal(serial.plan, batched.plan)
+        assert serial.extras["objective"] == batched.extras["objective"]
+        assert serial.extras["dedup"] == batched.extras["dedup"]
+        assert (
+            serial.extras["portfolio"]["iterations"]
+            == batched.extras["portfolio"]["iterations"]
+        )
