@@ -8,7 +8,14 @@ aside before the benchmark jobs overwrite them, then runs::
 The gate fails (exit 1) when
 
 * the solver microbench slowed down by more than ``--max-slowdown``
-  (default 20 %) against the committed ``fit_seconds``,
+  (default 20 %) against the committed ``fit_seconds`` — or any
+  individual backend did, both normalised by each side's
+  ``reference_seconds`` machine calibration,
+* the ``precision`` section is missing, its within-run float32
+  ``pi_update`` speedup fell below ``--min-f32-speedup``, a parity
+  pair's Hit@1 drifted past the tolerance recorded in the JSON, or
+  ``threaded-restart`` (float64) stopped being bitwise the serial
+  portfolio,
 * the serving bench (``BENCH_serve.json``) lost its invariants (zero
   cache hit rate, no coalescing, a bitwise divergence from the direct
   engine) or its calibrated pairs/sec regressed past the slowdown
@@ -98,6 +105,105 @@ def check_solver(baseline_dir: Path, current_dir: Path, max_slowdown: float):
             # informational: timing on shared runners is noisy, and the
             # backends are bitwise-equal, so this is not a correctness gate
             print("warning: batched-restart slower than fused-dense this run")
+    # per-backend regression gate, normalised by each side's machine
+    # reference exactly like the headline fit gate — a backend can
+    # regress while the headline (which only times the default path)
+    # stays green, and raw per-backend seconds would gate hardware
+    base_backends = baseline.get("backend_fit_seconds", {})
+    if base_ref and fresh_ref:
+        for name in sorted(set(backends) & set(base_backends)):
+            base_value = base_backends[name] / base_ref
+            fresh_value = backends[name] / fresh_ref
+            allowed = base_value * (1.0 + max_slowdown)
+            print(
+                f"backend {name}: baseline {base_value:.3f}x reference, "
+                f"fresh {fresh_value:.3f}x (allowed <= {allowed:.3f})"
+            )
+            if fresh_value > allowed:
+                yield (
+                    f"backend {name} regressed: {fresh_value:.3f}x reference "
+                    f"vs committed {base_value:.3f}x "
+                    f"(> {max_slowdown:.0%} slowdown)"
+                )
+    elif base_backends:
+        print("note: no reference_seconds on one side; per-backend gate skipped")
+
+
+def check_precision(current_dir: Path, min_speedup: float = 1.3):
+    """Yield failure messages for the precision/threading sections.
+
+    Both gates are *within-run* invariants of the fresh
+    ``BENCH_solver.json`` — the float64 reference and the float32 solve
+    are timed back to back on the same box, so their ratio needs no
+    machine-reference normalisation:
+
+    * the ``precision`` section must exist, its ``pi_update_speedup``
+      must clear ``min_speedup`` (the acceptance target is 1.5x; the
+      gate leaves headroom for shared-runner noise), and every parity
+      pair's Hit@1 delta must sit within the tolerance the benchmark
+      wrote into the JSON;
+    * the ``threading`` section must exist and its float64 mode must
+      have been bitwise-equal to the serial portfolio.
+    """
+    fresh = load(current_dir / "BENCH_solver.json")
+    if fresh is None:
+        yield "BENCH_solver.json missing from the current run"
+        return
+    section = fresh.get("precision")
+    if not isinstance(section, dict):
+        yield (
+            "BENCH_solver.json has no precision section "
+            "(precision bench did not run)"
+        )
+        return
+    speedup = section.get("pi_update_speedup")
+    if speedup is None:
+        yield "precision section lacks pi_update_speedup"
+    else:
+        print(
+            f"float32 pi_update speedup: {speedup:.2f}x "
+            f"(required >= {min_speedup:.2f}x)"
+        )
+        if speedup < min_speedup:
+            yield (
+                f"float32 pi_update speedup {speedup:.2f}x fell below "
+                f"{min_speedup:.2f}x — the reduced-precision fast path "
+                "stopped paying for itself"
+            )
+    tolerance = section.get("hit1_tolerance")
+    parity = section.get("parity")
+    if not isinstance(parity, dict) or not parity or tolerance is None:
+        yield "precision section lacks the Hit@1 parity pairs/tolerance"
+    else:
+        for name, entry in sorted(parity.items()):
+            delta = entry.get("hit1_delta")
+            if delta is None:
+                yield f"precision parity pair {name!r} lacks hit1_delta"
+                continue
+            print(f"precision parity {name}: Hit@1 delta {delta:.2f}")
+            if delta > tolerance:
+                yield (
+                    f"precision parity broken on {name}: float32 Hit@1 "
+                    f"drifted {delta:.2f} points from float64 "
+                    f"(tolerance {tolerance})"
+                )
+    threading = fresh.get("threading")
+    if not isinstance(threading, dict):
+        yield (
+            "BENCH_solver.json has no threading section "
+            "(threading bench did not run)"
+        )
+        return
+    print(
+        f"threading: {threading.get('workers')} worker(s) on "
+        f"{threading.get('cpus')} cpu(s), "
+        f"speedup {threading.get('speedup_vs_serial', 0.0):.2f}x"
+    )
+    if threading.get("bitwise_equal_serial") is not True:
+        yield (
+            "threaded-restart (float64) diverged bitwise from the serial "
+            "portfolio"
+        )
 
 
 def check_serve(baseline_dir: Path, current_dir: Path, max_slowdown: float):
@@ -311,9 +417,15 @@ def main(argv=None) -> int:
         help="Hit@1 points of slack for the partial-curve monotonicity "
         "gate (default 10.0, matching test_partial_bench.SHAPE_TOLERANCE)",
     )
+    parser.add_argument(
+        "--min-f32-speedup", type=float, default=1.3,
+        help="required within-run float32 pi_update speedup over the "
+        "float64 serial reference (default 1.3; acceptance target 1.5)",
+    )
     args = parser.parse_args(argv)
     failures = [
         *check_solver(args.baseline_dir, args.current_dir, args.max_slowdown),
+        *check_precision(args.current_dir, min_speedup=args.min_f32_speedup),
         *check_serve(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_fidelity(args.current_dir),
         *check_partial(args.current_dir, tolerance=args.partial_tolerance),

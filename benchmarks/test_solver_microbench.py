@@ -267,3 +267,142 @@ def test_bench_decode_and_dedup(benchmark):
         {"decode_seconds": decode_seconds, "dedup": dedup}
     )
     assert BENCH_JSON.exists()
+
+
+def test_bench_precision_and_threading(benchmark, bench_scale):
+    """Float32 fast path and threaded restarts; extends ``BENCH_solver.json``.
+
+    The ``precision`` section times the float64 serial reference
+    against the backend ``precision="float32"`` routes to
+    (``batched-f32``) on the bench problem — min of three repeats each
+    side, so the recorded ``pi_update_speedup`` is a within-run ratio
+    the CI gate (``compare_bench.check_precision``) can compare
+    machine-neutrally — and records Hit@1/MRR parity between the two
+    precisions on every decoder-cohort bench pair, with the documented
+    tolerance written into the JSON.  The ``threading`` section times
+    ``threaded-restart`` and asserts its float64 mode is bitwise the
+    serial portfolio (on any core count).
+    """
+    from repro.datasets import load_graph_dataset
+    from repro.engine.precision import HIT1_PARITY_POINTS
+    from repro.eval.metrics import evaluate_decoded
+    from repro.experiments.decoders import PAIRS, pair_name
+    from repro.scale.executor import available_cpus
+
+    pair = _solver_problem()
+    cfg = SLOTAlignConfig(
+        n_bases=2, structure_lr=0.1, sinkhorn_lr=0.01,
+        max_outer_iter=150, track_history=False,
+    )
+
+    def timed_align(precision):
+        best_fit, best_pi, out = float("inf"), float("inf"), None
+        for _ in range(3):
+            engine = AlignmentEngine(
+                cfg, backend="fused-dense", cache=None, precision=precision
+            )
+            t0 = time.perf_counter()
+            out = engine.align(pair.source, pair.target)
+            best_fit = min(best_fit, time.perf_counter() - t0)
+            best_pi = min(
+                best_pi, out.extras["phase_timings"]["pi_update"]
+            )
+        return best_fit, best_pi, out
+
+    f64_fit, f64_pi, f64_out = timed_align("float64")
+    f32_fit, f32_pi, f32_out = benchmark.pedantic(
+        timed_align, args=("float32",), iterations=1, rounds=1
+    )
+    assert f64_out.extras["backend"] == "fused-dense"
+    assert f32_out.extras["backend"] == "batched-f32"
+    assert f32_out.extras["precision"] == "float32"
+    assert np.all(np.isfinite(f32_out.plan))
+    assert f32_out.plan.dtype == np.float64  # outcomes are re-cast
+
+    # Hit@1/MRR parity on the decoder-cohort bench pairs: same solver
+    # profile at both precisions, default decode, converged solves
+    from dataclasses import replace as _replace
+
+    from repro.core import SEMI_SYNTHETIC_CONFIG
+
+    parity_cfg = _replace(
+        SEMI_SYNTHETIC_CONFIG,
+        max_outer_iter=60, multi_start=False,
+        single_start_view="node", track_history=False,
+    )
+    parity = {}
+    max_hit1_delta = 0.0
+    for dataset, edge_noise in PAIRS:
+        graph = load_graph_dataset(dataset, scale=bench_scale.dataset_scale)
+        bench_pair = make_semi_synthetic_pair(
+            graph, edge_noise=edge_noise, seed=bench_scale.seed
+        )
+        reports = {}
+        for precision in ("float64", "float32"):
+            engine = AlignmentEngine(
+                parity_cfg, backend="fused-dense", cache=None,
+                precision=precision,
+            )
+            result = engine.align(bench_pair.source, bench_pair.target)
+            decoded = engine.decode(result)
+            reports[precision] = evaluate_decoded(
+                decoded, bench_pair.ground_truth, ks=(1, 5, 10)
+            )
+        hit1_delta = abs(
+            reports["float32"]["hits@1"] - reports["float64"]["hits@1"]
+        )
+        max_hit1_delta = max(max_hit1_delta, hit1_delta)
+        assert hit1_delta <= HIT1_PARITY_POINTS, (
+            f"{dataset}-{edge_noise}: float32 Hit@1 drifted "
+            f"{hit1_delta:.2f} points from float64"
+        )
+        parity[pair_name(dataset, edge_noise)] = {
+            "hits@1": {p: reports[p]["hits@1"] for p in reports},
+            "mrr": {p: reports[p]["mrr"] for p in reports},
+            "hit1_delta": hit1_delta,
+        }
+
+    # threaded-restart: float64 mode must be bitwise the serial
+    # portfolio regardless of core count; timing is informational on
+    # boxes without real parallelism
+    cpus = available_cpus()
+    best_threaded = float("inf")
+    for _ in range(3):
+        engine = AlignmentEngine(
+            cfg, backend="threaded-restart", cache=None
+        )
+        t0 = time.perf_counter()
+        threaded_out = engine.align(pair.source, pair.target)
+        best_threaded = min(best_threaded, time.perf_counter() - t0)
+    bitwise_equal = bool(
+        np.array_equal(threaded_out.plan, f64_out.plan)
+    )
+    assert bitwise_equal, "threaded-restart diverged from fused-dense"
+
+    _merge_into_bench({
+        "precision": {
+            "hit1_tolerance": HIT1_PARITY_POINTS,
+            "float64": {
+                "backend": "fused-dense",
+                "fit_seconds": f64_fit,
+                "pi_update_seconds": f64_pi,
+            },
+            "float32": {
+                "backend": f32_out.extras["backend"],
+                "fit_seconds": f32_fit,
+                "pi_update_seconds": f32_pi,
+            },
+            "fit_speedup": f64_fit / f32_fit,
+            "pi_update_speedup": f64_pi / f32_pi,
+            "parity": parity,
+            "max_hit1_delta": max_hit1_delta,
+        },
+        "threading": {
+            "cpus": cpus,
+            "workers": threaded_out.extras["threading"]["workers"],
+            "fit_seconds": best_threaded,
+            "speedup_vs_serial": f64_fit / best_threaded,
+            "bitwise_equal_serial": bitwise_equal,
+        },
+    })
+    assert BENCH_JSON.exists()

@@ -92,6 +92,7 @@ ALIGNER_FACTORIES = {
     "slotalign": lambda args: SLOTAlign(
         _slot_config(args),
         backend=_resolve_backend(args.backend, dense_only=True),
+        precision=args.precision,
     ),
     "partitioned": lambda args: DivideAndConquerAligner(
         _slot_config(args),
@@ -194,6 +195,11 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", default=DEFAULT_BACKEND,
         help="engine solver backend (see `repro engine --list-backends`)",
+    )
+    parser.add_argument(
+        "--precision", choices=("float64", "float32"), default="float64",
+        help="solve-stage working precision; float32 routes to the "
+        "reduced-precision fast backends (decisions stay float64)",
     )
     # partitioned-pipeline knobs (method "partitioned" / backend "sparse")
     parser.add_argument(
@@ -355,6 +361,11 @@ def _run_align(args) -> int:
             f"({', '.join(_ENGINE_METHODS)}); method {args.method!r} "
             "ignores it"
         )
+    if args.precision != "float64" and args.method != "slotalign":
+        raise SystemExit(
+            "--precision float32 only applies to the dense engine path "
+            f"(method slotalign); method {args.method!r} ignores it"
+        )
     pair = _build_pair(args)
     aligner = _resolve_method(args.method)(args)
     result = aligner.fit(pair.source, pair.target)
@@ -383,6 +394,10 @@ def _run_engine_partial(args) -> int:
         raise SystemExit(
             "--partial selects its own backend (partial-dummy / "
             "partial-unbalanced); drop --backend"
+        )
+    if args.precision != "float64":
+        raise SystemExit(
+            "the partial backends have no float32 variant; drop --precision"
         )
     graph = load_graph_dataset(args.dataset, scale=args.scale)
     if args.truncate_columns:
@@ -469,12 +484,15 @@ def _run_engine(args) -> int:
         }
     engine = AlignmentEngine(
         _slot_config(args), backend=backend, backend_options=backend_options,
-        decoder=decoder,
+        decoder=decoder, precision=args.precision,
     )
     run = engine.run(
         pair.source, pair.target, pair.ground_truth, ks=(1, 5, 10)
     )
-    print(f"backend  {backend}")
+    solved = getattr(run.result, "extras", {}).get("backend", backend)
+    print(f"backend  {solved}")
+    if args.precision != "float64":
+        print(f"precision {args.precision}")
     if run.decoded is not None:
         print(
             f"decoder  {run.decoded.decoder}  "

@@ -46,6 +46,10 @@ class SLOTAlign:
         Solver backend name from the engine registry (default
         ``"fused-dense"``; ``"batched-restart"`` runs the identical
         portfolio as one stacked-tensor solve).
+    precision:
+        Solve-stage working precision, ``"float64"`` (default) or
+        ``"float32"`` — the float32 fast path routes to the
+        reduced-precision backends (see :mod:`repro.engine.precision`).
 
     Example
     -------
@@ -62,9 +66,11 @@ class SLOTAlign:
         self,
         config: SLOTAlignConfig | None = None,
         backend: str | None = None,
+        precision: str | None = None,
     ):
         self.config = config or SLOTAlignConfig()
         self.backend = backend or "fused-dense"
+        self.precision = precision
         self.history: IterateHistory | None = None
         self.beta_source: np.ndarray | None = None
         self.beta_target: np.ndarray | None = None
@@ -80,7 +86,10 @@ class SLOTAlign:
         # pipeline has its own front door (DivideAndConquerAligner /
         # the engine's "sparse" backend)
         ensure_dense_backend(self.backend, "SLOTAlign")
-        return AlignmentEngine(self.config, backend=self.backend)
+        kwargs = {}
+        if self.precision is not None:
+            kwargs["precision"] = self.precision
+        return AlignmentEngine(self.config, backend=self.backend, **kwargs)
 
     def prepare_bases(
         self, source: AttributedGraph, target: AttributedGraph

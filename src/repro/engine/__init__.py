@@ -54,13 +54,29 @@ from repro.engine.decode import (
 )
 from repro.engine.evaluate import evaluate_alignment, extract_plan
 from repro.engine.pipeline import AlignmentEngine, EngineRun, align_pair
+from repro.engine.precision import (
+    DEFAULT_PRECISION,
+    FLOAT32,
+    FLOAT64,
+    PRECISIONS,
+    SolverPrecision,
+    backend_for_precision,
+    ensure_precision,
+)
 
 __all__ = [
     "AlignmentEngine",
     "EngineRun",
     "DEFAULT_BACKEND",
     "DEFAULT_DECODER",
+    "DEFAULT_PRECISION",
     "DecodedMatching",
+    "FLOAT32",
+    "FLOAT64",
+    "PRECISIONS",
+    "SolverPrecision",
+    "backend_for_precision",
+    "ensure_precision",
     "coalescible",
     "solve_coalesced",
     "PlanCache",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.core.objective import JointObjective
 from repro.engine.planning import PreparedProblem
 from repro.engine.restarts import (
+    DEDUP_TOL_START,
     portfolio_phase_timings,
     portfolio_result,
     run_portfolio,
@@ -178,22 +179,30 @@ class FusedDenseDedupBackend(FusedDenseBackend):
     Same restarts, same pruning checkpoints as ``fused-dense``, plus
     :func:`~repro.engine.restarts.dedup_schedule` checkpoints where
     restarts whose couplings have converged onto an earlier restart's
-    (within ``dedup_tol`` relative Frobenius) are dropped and their
-    remaining iteration budget is split among the survivors — the
-    solver-bench observation this attacks is the ``edge`` restart
-    surviving to iteration 110 of 150 while tracking the leader.  A
-    merge changes which trajectories run (and lets survivors exceed
-    ``max_outer_iter``), so per the registry's never-silently-replace
-    rule this is a new name; with no merge firing the output is
-    bit-for-bit ``fused-dense``.
+    (within the :func:`~repro.engine.restarts.dedup_tolerance`
+    schedule, decaying from ``dedup_tol_start`` to the ``dedup_tol``
+    floor) are dropped and their remaining iteration budget is split
+    among the survivors — on the solver bench the clone cluster
+    (uniform/node/node-frozen) plateaus near relative distance 1e-3,
+    which the old fixed 1e-5 never caught.  A merge changes which
+    trajectories run (and lets survivors exceed ``max_outer_iter``),
+    so per the registry's never-silently-replace rule this is a new
+    name; with no merge firing the output is bit-for-bit
+    ``fused-dense``.
     """
 
     name = "fused-dense-dedup"
     kind = "dense"
 
-    def __init__(self, dedup_tol: float = 1e-5, dedup_interval: int | None = None):
+    def __init__(
+        self,
+        dedup_tol: float = 1e-5,
+        dedup_interval: int | None = None,
+        dedup_tol_start: float = DEDUP_TOL_START,
+    ):
         self.dedup_tol = dedup_tol
         self.dedup_interval = dedup_interval
+        self.dedup_tol_start = dedup_tol_start
 
     def solve(self, problem: PreparedProblem):
         cfg = problem.config
@@ -210,6 +219,7 @@ class FusedDenseDedupBackend(FusedDenseBackend):
                 objective, cfg, plan0, mu, nu, informative_init,
                 dedup_tol=self.dedup_tol,
                 dedup_interval=self.dedup_interval,
+                dedup_tol_start=self.dedup_tol_start,
             )
         result = portfolio_result(
             self.name, outcomes, best, k, checkpoints,
@@ -275,10 +285,12 @@ def _register_builtin_backends() -> None:
     # imported here so the registry owns the import-order: batched.py
     # and partial.py import this module for register_backend
     from repro.engine.batched import BatchedDedupBackend, BatchedRestartBackend
+    from repro.engine.mixed import BatchedF32Backend, FusedDenseF32Backend
     from repro.engine.partial import (
         PartialDummyBackend,
         PartialUnbalancedBackend,
     )
+    from repro.engine.threaded import ThreadedRestartBackend
 
     register_backend(
         FusedDenseBackend.name,
@@ -303,6 +315,24 @@ def _register_builtin_backends() -> None:
         BatchedDedupBackend,
         "batched-restart with restart-trajectory dedup, merge-for-merge "
         "equal to fused-dense-dedup",
+    )
+    register_backend(
+        FusedDenseF32Backend.name,
+        FusedDenseF32Backend,
+        "serial restart portfolio stepped in float32 against a "
+        "preallocated workspace; decisions re-evaluated in float64",
+    )
+    register_backend(
+        BatchedF32Backend.name,
+        BatchedF32Backend,
+        "lockstep-batched float32 portfolio, bitwise-equal to "
+        "fused-dense-f32",
+    )
+    register_backend(
+        ThreadedRestartBackend.name,
+        ThreadedRestartBackend,
+        "restart portfolio fanned across a shared-memory thread pool; "
+        "bitwise-equal to the serial backend at either precision",
     )
     register_backend(
         SparsePartitionBackend.name,

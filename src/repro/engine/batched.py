@@ -47,10 +47,12 @@ from repro.core.convergence import IterateHistory
 from repro.core.objective import JointObjective
 from repro.engine.planning import PreparedProblem
 from repro.engine.restarts import (
+    DEDUP_TOL_START,
     RunOutcome,
     _apply_dedup,
     build_starts,
     dedup_schedule,
+    dedup_tolerance,
     eta_schedule,
     portfolio_result,
     prune_schedule,
@@ -427,9 +429,15 @@ class BatchedDedupBackend(BatchedRestartBackend):
     name = "batched-dedup"
     kind = "dense"
 
-    def __init__(self, dedup_tol: float = 1e-5, dedup_interval: int | None = None):
+    def __init__(
+        self,
+        dedup_tol: float = 1e-5,
+        dedup_interval: int | None = None,
+        dedup_tol_start: float = DEDUP_TOL_START,
+    ):
         self.dedup_tol = dedup_tol
         self.dedup_interval = dedup_interval
+        self.dedup_tol_start = dedup_tol_start
 
     def solve(self, problem: PreparedProblem):
         from repro.engine.backends import ensure_classical_problem
@@ -460,12 +468,25 @@ class BatchedDedupBackend(BatchedRestartBackend):
                 [(iteration, 0, None) for iteration in dedup_points]
                 + [(iteration, 1, margin) for iteration, margin in checkpoints]
             )
+            tolerance_schedule = [
+                (
+                    iteration,
+                    dedup_tolerance(
+                        iteration, cfg.max_outer_iter,
+                        self.dedup_tol, self.dedup_tol_start,
+                    ),
+                )
+                for iteration in dedup_points
+            ]
+            tolerance_at = dict(tolerance_schedule)
             merges: list[dict] = []
             for iteration, kind, margin in events:
                 lockstep.advance(runs, iteration)
                 if kind == 0:
                     merges.extend(
-                        _apply_dedup(runs, self.dedup_tol, cfg.max_outer_iter)
+                        _apply_dedup(
+                            runs, tolerance_at[iteration], cfg.max_outer_iter
+                        )
                     )
                     continue
                 contenders = {
@@ -506,6 +527,8 @@ class BatchedDedupBackend(BatchedRestartBackend):
         )
         result.extras["dedup"] = {
             "tolerance": self.dedup_tol,
+            "tolerance_start": self.dedup_tol_start,
+            "tolerance_schedule": tolerance_schedule,
             "checkpoints": dedup_points,
             "merges": merges,
             "freed_iterations": freed,

@@ -34,6 +34,7 @@ from __future__ import annotations
 from repro.core.objective import JointObjective
 from repro.engine.batched import _BatchedRun, _LockstepPortfolio
 from repro.engine.planning import PreparedProblem
+from repro.engine.precision import DEFAULT_PRECISION, ensure_precision
 from repro.engine.restarts import (
     build_starts,
     portfolio_result,
@@ -61,15 +62,22 @@ def coalescible(a: PreparedProblem, b: PreparedProblem) -> bool:
     )
 
 
-def solve_coalesced(problems: list[PreparedProblem]):
+def solve_coalesced(problems: list[PreparedProblem], precision: str = DEFAULT_PRECISION):
     """Solve several same-shape problems as one stacked lockstep batch.
 
     Returns one :class:`~repro.core.result.AlignmentResult` per input
     problem, in order, each bit-for-bit equal to a direct single-pair
-    solve of that problem (see the module docstring).
+    solve of that problem **at the same precision** (see the module
+    docstring) — ``float32`` batches step through the mixed-precision
+    lockstep and match a single-pair ``batched-f32`` solve bit for
+    bit.  Problems solved at different precisions must never share a
+    batch (the serving layer keys admission on it).
     """
     if not problems:
         return []
+    resolved = ensure_precision(precision)
+    if resolved.name != DEFAULT_PRECISION:
+        return _solve_coalesced_mixed(problems, resolved)
     cfg = problems[0].config
     for problem in problems[1:]:
         if not coalescible(problems[0], problem):
@@ -142,6 +150,99 @@ def solve_coalesced(problems: list[PreparedProblem]):
             COALESCED_BACKEND, outcomes, best, k, checkpoints,
             phase_timings, runtime=sum(run.elapsed for run in runs),
         )
+        result.extras["coalesced"] = {
+            "batch_size": len(problems),
+            "batch_index": index,
+            "batch_runtime": timer.elapsed,
+        }
+        results.append(result)
+    return results
+
+
+def _solve_coalesced_mixed(problems: list[PreparedProblem], precision):
+    """The float32 coalesced branch: one mixed-precision lockstep.
+
+    Same batch admission, advance schedule and within-pair pruning as
+    the float64 branch; stepping goes through
+    :class:`~repro.engine.mixed._MixedLockstep`, whose per-slice GEMM
+    contract makes each pair's result bit-for-bit a single-pair
+    ``batched-f32`` solve of that problem.
+    """
+    from repro.engine.mixed import MixedRun, _MixedLockstep
+
+    cfg = problems[0].config
+    for problem in problems[1:]:
+        if not coalescible(problems[0], problem):
+            raise ConfigError(
+                "coalesced solve requires identical configs and plan "
+                "shapes across all problems"
+            )
+    with Timer() as timer:
+        # collect per-problem start recipes first: the mixed runs need
+        # the shared lockstep (sized to the whole batch) at construction
+        recipes = []
+        mu = nu = None
+        total = 0
+        for problem in problems:
+            source_bases, target_bases = problem.bases
+            k = len(source_bases)
+            objective = JointObjective(
+                source_bases, target_bases, fused=cfg.fused_contractions
+            )
+            mu, nu = problem.marginals()
+            plan0, informative_init = problem.initial_coupling(mu, nu)
+            starts = build_starts(cfg, k, informative_init)
+            recipes.append((k, objective, plan0, starts))
+            total += len(starts)
+        lockstep = _MixedLockstep(
+            cfg, mu, nu, capacity=total, precision=precision
+        )
+        groups: list[tuple[int, list[MixedRun]]] = []
+        for k, objective, plan0, starts in recipes:
+            runs = [
+                MixedRun(lockstep, objective, cfg, beta0, learn, plan0, label)
+                for label, beta0, learn in starts
+            ]
+            groups.append((k, runs))
+        all_runs = [run for _, runs in groups for run in runs]
+        schedule = (
+            prune_schedule(cfg)
+            if any(len(runs) > 1 for _, runs in groups)
+            else []
+        )
+        for checkpoint, margin in schedule:
+            lockstep.advance(all_runs, checkpoint)
+            for _, runs in groups:
+                if len(runs) <= 1:
+                    continue
+                contenders = {
+                    run.label: run.current_objective()
+                    for run in runs
+                    if not run.pruned
+                }
+                leader = min(contenders.values())
+                for run in runs:
+                    if run.active and contenders[run.label] > leader + margin:
+                        run.prune()
+        lockstep.advance(all_runs, cfg.max_outer_iter)
+
+    results = []
+    for index, (k, runs) in enumerate(groups):
+        outcomes = [run.outcome() for run in runs]
+        best = select_best(outcomes)
+        checkpoints = prune_schedule(cfg) if len(runs) > 1 else []
+        phase_timings = {
+            "basis_build": problems[index].basis_seconds,
+            "alpha_update": sum(r.timings["alpha_update"] for r in runs),
+            "pi_update": sum(r.timings["pi_update"] for r in runs),
+            "objective_eval": sum(r.timings["objective_eval"] for r in runs),
+            "per_restart": {run.label: run.elapsed for run in runs},
+        }
+        result = portfolio_result(
+            COALESCED_BACKEND, outcomes, best, k, checkpoints,
+            phase_timings, runtime=sum(run.elapsed for run in runs),
+        )
+        result.extras["precision"] = precision.name
         result.extras["coalesced"] = {
             "batch_size": len(problems),
             "batch_index": index,

@@ -30,6 +30,11 @@ import numpy as np
 from repro.core.config import SLOTAlignConfig
 from repro.engine.backends import DEFAULT_BACKEND, get_backend
 from repro.engine.decode import DEFAULT_DECODER, DecodedMatching, decode_plan
+from repro.engine.precision import (
+    DEFAULT_PRECISION,
+    backend_for_precision,
+    ensure_precision,
+)
 from repro.engine.evaluate import evaluate_alignment
 from repro.engine.planning import (
     PlanCache,
@@ -83,6 +88,13 @@ class AlignmentEngine:
         the plan posterior directly (the pre-decode behaviour, which
         ``row-argmax`` reproduces bit for bit).  Like ``backend`` it
         is validated lazily, at decode time.
+    precision:
+        Working precision of the solve stage — ``"float64"`` (the
+        default, routing to the bitwise-pinned reference backends
+        untouched) or ``"float32"`` (routing through
+        :func:`repro.engine.precision.backend_for_precision` to the
+        reduced-precision backends).  Validated eagerly so a typo
+        fails at construction, not mid-solve.
     """
 
     def __init__(
@@ -92,6 +104,7 @@ class AlignmentEngine:
         cache=_SHARED,
         backend_options: dict | None = None,
         decoder: str | None = None,
+        precision: str = DEFAULT_PRECISION,
     ):
         self.config = config or SLOTAlignConfig()
         self.backend = backend
@@ -100,6 +113,7 @@ class AlignmentEngine:
         )
         self.backend_options = dict(backend_options or {})
         self.decoder = decoder
+        self.precision = ensure_precision(precision).name
 
     # ------------------------------------------------------------------
     def plan(
@@ -127,8 +141,16 @@ class AlignmentEngine:
         )
 
     def solve(self, problem: PreparedProblem):
-        """Stage 2: run the configured solver backend."""
-        backend = get_backend(self.backend, **self.backend_options)
+        """Stage 2: run the configured solver backend.
+
+        The precision routing happens here, per solve: ``float64`` is
+        the identity (the requested backend runs untouched), while
+        ``float32`` swaps in the reduced-precision variant and merges
+        its routing options under any explicit ``backend_options``
+        (explicit options win).
+        """
+        name, extra = backend_for_precision(self.backend, self.precision)
+        backend = get_backend(name, **{**extra, **self.backend_options})
         return backend.solve(problem)
 
     def decode(self, result, decoder: str | None = None) -> DecodedMatching:

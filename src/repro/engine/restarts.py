@@ -368,6 +368,47 @@ def dedup_schedule(config: SLOTAlignConfig, interval: int | None = None) -> list
     return list(range(interval, config.max_outer_iter, interval))
 
 
+#: Default opening tolerance of the converging dedup schedule.
+#: Calibrated on the bench portfolio (n=81, 4 starts, budget 150):
+#: the clone cluster (uniform/node/node-frozen) sits at relative
+#: Frobenius distance ~1e-2 by the first 20-iteration checkpoint and
+#: plateaus near 1e-3, while the genuinely distinct ``edge`` basin
+#: stays at ~1.2 — so 0.05 separates clones from basins with an order
+#: of magnitude of margin on both sides.
+DEDUP_TOL_START = 0.05
+
+
+def dedup_tolerance(
+    iteration: int,
+    budget: int,
+    floor: float,
+    start: float = DEDUP_TOL_START,
+) -> float:
+    """Converging dedup tolerance at ``iteration`` (ROADMAP item 4).
+
+    The fixed ``1e-5`` tolerance was a dead letter: restart
+    trajectories that share a basin plateau around relative Frobenius
+    distance ``1e-3`` — close enough to be clones, never close enough
+    for ``1e-5`` — so no merge ever fired and the dedup backends paid
+    the comparison cost for nothing.  This schedule starts loose and
+    tightens as trajectories converge: geometric interpolation from
+    ``start`` at iteration 0 down to ``floor`` at the outer
+    ``budget``, so early checkpoints merge obvious clones (freeing the
+    most budget) while late checkpoints only merge near-identical
+    iterates.
+
+    Degenerate cases keep the PR-9 contracts: ``floor <= 0`` returns
+    ``floor`` unchanged (dedup off stays off), and ``start <= floor``
+    collapses to the constant ``floor`` (the old fixed-tolerance
+    behaviour — which is also how an over-wide explicit ``dedup_tol``
+    like the forced-merge tests' ``10.0`` keeps its meaning).
+    """
+    if floor <= 0.0 or start <= floor:
+        return floor
+    fraction = min(max(iteration / budget, 0.0), 1.0) if budget > 0 else 1.0
+    return float(start * (floor / start) ** fraction)
+
+
 def _apply_dedup(runs, tol: float, budget: int) -> list[dict]:  #: pinned
     """Merge live restarts whose couplings converged within ``tol``.
 
@@ -419,17 +460,20 @@ def run_portfolio_dedup(
     run_factory=RestartRun,
     dedup_tol: float = 1e-5,
     dedup_interval: int | None = None,
+    dedup_tol_start: float = DEDUP_TOL_START,
 ) -> tuple[list[RestartRun], list[RunOutcome], RunOutcome, list[tuple[int, float]], dict]:
     """The serial restart portfolio with trajectory dedup (Snippet-3 idiom).
 
     Identical to :func:`run_portfolio` except that at every
     :func:`dedup_schedule` checkpoint, restarts whose couplings have
     converged onto an earlier restart's (relative Frobenius distance
-    ≤ ``dedup_tol``) are dropped, and the iteration budget they would
-    have burned is redistributed: every survivor's ``max_iterations``
-    is extended by ``freed // n_survivors`` (capped at one extra full
-    budget), so the portfolio spends the same total work exploring
-    *distinct* basins instead of stepping clones.
+    ≤ the :func:`dedup_tolerance` schedule decaying from
+    ``dedup_tol_start`` to the ``dedup_tol`` floor) are dropped, and
+    the iteration budget they would have burned is redistributed:
+    every survivor's ``max_iterations`` is extended by
+    ``freed // n_survivors`` (capped at one extra full budget), so the
+    portfolio spends the same total work exploring *distinct* basins
+    instead of stepping clones.
 
     A merge changes which trajectories exist (and survivors may run
     past ``max_outer_iter``), so results can differ from
@@ -450,13 +494,25 @@ def run_portfolio_dedup(
         [(iteration, 0, None) for iteration in dedup_points]
         + [(iteration, 1, margin) for iteration, margin in checkpoints]
     )
+    tolerance_schedule = [
+        (
+            iteration,
+            dedup_tolerance(
+                iteration, config.max_outer_iter, dedup_tol, dedup_tol_start
+            ),
+        )
+        for iteration in dedup_points
+    ]
+    tolerance_at = dict(tolerance_schedule)
     merges: list[dict] = []
     for iteration, kind, margin in events:
         for run in runs:
             if run.active:
                 run.step_until(iteration)
         if kind == 0:
-            merges.extend(_apply_dedup(runs, dedup_tol, config.max_outer_iter))
+            merges.extend(
+                _apply_dedup(runs, tolerance_at[iteration], config.max_outer_iter)
+            )
             continue
         contenders = {
             run.label: run.current_objective()
@@ -481,6 +537,8 @@ def run_portfolio_dedup(
     best = select_best(outcomes)
     dedup_info = {
         "tolerance": dedup_tol,
+        "tolerance_start": dedup_tol_start,
+        "tolerance_schedule": tolerance_schedule,
         "checkpoints": dedup_points,
         "merges": merges,
         "freed_iterations": freed,

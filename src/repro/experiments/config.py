@@ -62,6 +62,10 @@ class ExperimentScale:
     routes its plans through (a registered decoder name); ``None``
     scores the raw posterior, which is the paper's protocol and
     bitwise-identical to the pre-decode-stage pipeline.
+    ``precision`` sets the solve-stage working precision
+    (``"float32"`` routes to the reduced-precision fast backends;
+    expect Hit@1 parity within the documented band, not bitwise
+    equality).
     """
 
     dataset_scale: float = 0.07
@@ -69,6 +73,7 @@ class ExperimentScale:
     seed: int = 0
     engine_backend: str = "fused-dense"
     decoder: str | None = None
+    precision: str = "float64"
 
     @property
     def gnn_epochs(self) -> int:
@@ -142,7 +147,7 @@ def slotalign_semi_synthetic(scale: ExperimentScale) -> SLOTAlign:
             max_outer_iter=scale.slot_iters,
             track_history=False,
         )
-    return SLOTAlign(cfg, backend=scale.engine_backend)
+    return SLOTAlign(cfg, backend=scale.engine_backend, precision=scale.precision)
 
 
 def slotalign_real_world(scale: ExperimentScale, **overrides) -> SLOTAlign:
@@ -174,7 +179,8 @@ def slotalign_real_world(scale: ExperimentScale, **overrides) -> SLOTAlign:
     )
     params.update(overrides)
     return SLOTAlign(
-        replace(REAL_WORLD_CONFIG, **params), backend=scale.engine_backend
+        replace(REAL_WORLD_CONFIG, **params), backend=scale.engine_backend,
+        precision=scale.precision,
     )
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.engine import ensure_decoder, ensure_dense_backend
+from repro.engine import ensure_decoder, ensure_dense_backend, ensure_precision
 from repro.eval.fidelity import (
     format_fidelity,
     record_decoders,
@@ -64,11 +64,17 @@ def main(argv=None) -> int:
         "registered decoder name); default scores the raw posterior, "
         "the paper's protocol",
     )
+    parser.add_argument(
+        "--precision", choices=("float64", "float32"), default="float64",
+        help="solve-stage working precision for every SLOTAlign solve; "
+        "float32 routes to the reduced-precision fast backends",
+    )
     args = parser.parse_args(argv)
     try:
         # the experiment drivers run whole-pair dense solves; this also
         # names the valid choices on unknown names (no bare KeyError)
         ensure_dense_backend(args.backend, "the experiment runner")
+        ensure_precision(args.precision)
         if args.decoder is not None:
             ensure_decoder(args.decoder)
     except ConfigError as exc:
@@ -76,6 +82,7 @@ def main(argv=None) -> int:
     scale = ExperimentScale(
         dataset_scale=args.scale, fast=not args.full, seed=args.seed,
         engine_backend=args.backend, decoder=args.decoder,
+        precision=args.precision,
     )
     print(run_experiment(args.experiment, scale))
     return 0

@@ -345,6 +345,144 @@ def sinkhorn_log_kernel_fast_batched(
     return [results[run] for run in range(n_runs)]
 
 
+_SUBNORMAL_FLUSH32 = 3e-38
+"""Float32 analogue of ``_SUBNORMAL_FLUSH`` (smallest normal ≈1.2e-38)."""
+
+F32_SINKHORN_TOL = 1e-5
+"""Marginal-L1 tolerance floor for float32 Sinkhorn loops.
+
+One float32 rounding per row of a stochastic matrix leaves marginal
+violations of order ``eps32 ≈ 1e-7`` per row even at the fixed point,
+so float64-grade tolerances (1e-9) can never be met and would silently
+burn the full inner budget; 1e-5 sits comfortably above the rounding
+noise floor while staying tight against plan entries of order 1e-4.
+"""
+
+
+def _flush_constants(dtype: np.dtype) -> tuple[float, float]:
+    """``(subnormal flush threshold, tiny clamp)`` for a working dtype."""
+    if np.dtype(dtype) == np.float32:
+        return _SUBNORMAL_FLUSH32, 1e-37
+    return _SUBNORMAL_FLUSH, 1e-300
+
+
+def sinkhorn_log_kernel_fast_workspace(
+    workspace,
+    n_slices: int,
+    max_iter: int = 50,
+    tol: float = 0.0,
+) -> tuple[int, np.ndarray, bool]:  #: pinned
+    """Workspace-fused stacked projection onto ``Π(μ, ν)``.
+
+    The allocation-free sibling of the two fast kernels: it reads the
+    stacked log kernels from ``workspace.log_kernel[:n_slices]`` and the
+    marginals from ``workspace.mu_col`` / ``workspace.nu_col`` (loaded
+    via :meth:`repro.ot.workspace.Workspace.set_marginals`), runs the
+    same row-shift + kernel-domain scaling iteration as
+    :func:`sinkhorn_log_kernel_fast` entirely through ``out=``-targeted
+    calls into workspace buffers, and leaves the projected plans in
+    ``workspace.new_plans[:n_slices]`` — callers copy out before the
+    next lease.  Works at the workspace's dtype; float32 uses its own
+    subnormal-flush threshold and tiny clamp (see ``_flush_constants``).
+
+    Per-slice convergence follows the batched kernel's contract, by
+    **freezing** instead of compression: a slice whose marginal error
+    clears ``tol`` at a check takes its closing u-update immediately
+    and its plan stops being written, while the remaining slices keep
+    iterating on the full stack — so every slice's plan is bit-for-bit
+    what the serial kernel produces for that kernel alone, which is
+    what lets heterogeneous coalesced batches keep the single-pair
+    bitwise contract.  (Frozen slices ride along in the stack matvecs;
+    their scaling vectors become dead state that is never read again.
+    No fancy-indexed copies, no allocation.)  Returns ``(iterations,
+    per-slice L1 row errors, all-slices-converged)``.
+
+    .. note:: **bitwise-pinned** — the ``fused-dense-f32`` /
+       ``batched-f32`` / ``threaded-restart`` equivalence contract and
+       the precision benchmark baselines depend on this exact
+       instruction sequence; register divergent variants under a new
+       backend name instead of editing it.
+    """
+    r = int(n_slices)
+    if not 1 <= r <= workspace.capacity:
+        raise ShapeError(
+            f"n_slices must be in [1, {workspace.capacity}], got {n_slices}"
+        )
+    flush, tiny = _flush_constants(workspace.dtype)
+    log_k = workspace.log_kernel[:r]
+    if not np.all(np.isfinite(log_k)):
+        raise ConvergenceError("log kernel contains non-finite entries")
+    row_max = workspace.row_max[:r]
+    np.amax(log_k, axis=2, keepdims=True, out=row_max)
+    np.subtract(log_k, row_max, out=log_k)
+    kernel = workspace.kernel[:r]
+    np.exp(log_k, out=kernel)
+    mask = workspace.mask[:r]
+    np.greater_equal(kernel, flush, out=mask)
+    np.multiply(kernel, mask, out=kernel)
+    kernel_t = kernel.swapaxes(1, 2)
+    mu_col = workspace.mu_col
+    nu_col = workspace.nu_col
+    u = workspace.u[:r]
+    v = workspace.v[:r]
+    kv = workspace.kv[:r]
+    ktu = workspace.ktu[:r]
+    marg = workspace.marg[:r]
+    plans = workspace.new_plans[:r]
+    u.fill(1.0)
+    v.fill(1.0)
+    frozen = np.zeros(r, dtype=bool)
+    final_errors = np.zeros(r, dtype=np.float64)
+    have_kv = False
+    iteration = 0
+
+    def close(index: int) -> None:
+        # closing u-update (exact row marginals) for one slice, as in
+        # the serial kernel; writes the slice's plan once, for good
+        np.maximum(kv[index], tiny, out=kv[index])
+        np.divide(mu_col, kv[index], out=u[index])
+        np.multiply(kernel[index], u[index], out=plans[index])
+        np.multiply(plans[index], v[index].swapaxes(0, 1), out=plans[index])
+        np.greater_equal(plans[index], flush, out=mask[index])
+        np.multiply(plans[index], mask[index], out=plans[index])
+        np.sum(plans[index], axis=1, keepdims=True, out=marg[index])
+        np.subtract(marg[index], mu_col, out=marg[index])
+        np.abs(marg[index], out=marg[index])
+        final_errors[index] = float(marg[index].sum())
+
+    for iteration in range(1, max_iter + 1):
+        if not have_kv:
+            np.matmul(kernel, v, out=kv)
+        have_kv = False
+        np.maximum(kv, tiny, out=kv)
+        np.divide(mu_col, kv, out=u)
+        np.matmul(kernel_t, u, out=ktu)
+        np.maximum(ktu, tiny, out=ktu)
+        np.divide(nu_col, ktu, out=v)
+        if tol > 0 and iteration % 10 == 0:
+            np.matmul(kernel, v, out=kv)
+            have_kv = True  # reuse the check product in the next u-update
+            np.multiply(u, kv, out=marg)
+            np.subtract(marg, mu_col, out=marg)
+            np.abs(marg, out=marg)
+            errs = marg.sum(axis=(1, 2))
+            for index in range(r):
+                if not frozen[index] and errs[index] < tol:
+                    close(index)
+                    frozen[index] = True
+            if frozen.all():
+                return iteration, final_errors, True
+    if not have_kv:
+        np.matmul(kernel, v, out=kv)
+    for index in range(r):
+        if not frozen[index]:
+            close(index)
+    converged = bool(
+        frozen.all() or (tol > 0 and float(final_errors.max()) < tol)
+    )
+    return iteration, final_errors, converged
+
+
 def _logsumexp_rows(log_matrix: np.ndarray) -> np.ndarray:
     """Row-wise logsumexp with max-shift stabilisation."""
     row_max = np.max(log_matrix, axis=1, keepdims=True)

@@ -64,6 +64,10 @@ class Job:
     # plan posterior directly; a per-job *post-solve* concern, so it is
     # deliberately absent from the coalescing compatibility key
     decoder: str | None = None
+    # solve-stage working precision ("float64" / "float32"); part of
+    # the coalescing compatibility key — a float32 job must never share
+    # a lockstep batch with a float64 job
+    precision: str = "float64"
     job_id: int = field(default_factory=lambda: next(_JOB_IDS))
     state: JobState = JobState.QUEUED
     result: object = None

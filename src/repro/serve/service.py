@@ -40,6 +40,11 @@ import numpy as np
 from repro.core.config import SLOTAlignConfig
 from repro.engine.backends import DEFAULT_BACKEND, backend_kind, get_backend
 from repro.engine.coalesce import solve_coalesced
+from repro.engine.precision import (
+    DEFAULT_PRECISION,
+    backend_for_precision,
+    ensure_precision,
+)
 from repro.engine.decode import ensure_decoder, get_decoder
 from repro.engine.evaluate import evaluate_alignment
 from repro.engine.pipeline import EngineRun
@@ -96,6 +101,12 @@ class AlignmentService:
         bit for bit.  Decoding is per-job and post-solve, so it never
         enters the coalescing compatibility key: jobs wanting
         different decoders still share one stacked solve.
+    precision:
+        Default solve-stage working precision for jobs submitted
+        without an explicit one (``"float64"`` / ``"float32"``).
+        Unlike ``decoder``, precision changes the solve itself, so it
+        **is** part of the coalescing compatibility key: a float32 job
+        never shares a lockstep batch with a float64 job.
     """
 
     def __init__(
@@ -109,6 +120,7 @@ class AlignmentService:
         max_batch: int = 8,
         evaluate_ks=(1, 5, 10, 30),
         decoder: str | None = None,
+        precision: str = DEFAULT_PRECISION,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -125,6 +137,10 @@ class AlignmentService:
         self.max_batch = max_batch
         self.evaluate_ks = tuple(evaluate_ks)
         self.decoder = ensure_decoder(decoder) if decoder is not None else None
+        self.precision = ensure_precision(precision).name
+        # fail a bad backend/precision combination at construction, not
+        # in a worker thread mid-solve
+        backend_for_precision(backend, self.precision)
         self._queue = JobQueue()
         self._decoder_lock = threading.Lock()
         # decoder instances are stateless but construction goes through
@@ -195,16 +211,21 @@ class AlignmentService:
         init_plan: np.ndarray | None = None,
         tag: str | None = None,
         decoder: str | None = None,
+        precision: str | None = None,
     ) -> Job:
         """Enqueue one alignment request and return its job handle.
 
         Admission control runs here: an over-budget request returns a
         job already in state ``REJECTED`` (with ``error`` naming the
-        violated budget) and never enters the queue.  ``decoder``
-        overrides the service default for this job only; unknown names
-        fail *here*, synchronously, with the registry's choice-naming
-        error.
+        violated budget) and never enters the queue.  ``decoder`` and
+        ``precision`` override the service defaults for this job only;
+        unknown names (or a backend/precision combination with no
+        route) fail *here*, synchronously, with the registry's
+        choice-naming error.
         """
+        if precision is not None:
+            precision = ensure_precision(precision).name
+            backend_for_precision(self.backend, precision)
         job = Job(
             source=source,
             target=target,
@@ -215,6 +236,7 @@ class AlignmentService:
             decoder=(
                 ensure_decoder(decoder) if decoder is not None else self.decoder
             ),
+            precision=precision if precision is not None else self.precision,
         )
         with self._stats_lock:
             self._counters["submitted"] += 1
@@ -263,6 +285,7 @@ class AlignmentService:
     def _compatible(self, head: Job, other: Job) -> bool:
         return (
             other.config == head.config
+            and other.precision == head.precision
             and other.source.n_nodes == head.source.n_nodes
             and other.target.n_nodes == head.target.n_nodes
         )
@@ -309,14 +332,22 @@ class AlignmentService:
 
         t0 = time.perf_counter()
         try:
+            # the whole batch shares one precision (_compatible keys
+            # on it), so the head job's setting drives the solve
+            batch_precision = planned[0][0].precision
             if len(planned) > 1:
-                results = solve_coalesced([p for _, p, _ in planned])
+                results = solve_coalesced(
+                    [p for _, p, _ in planned], precision=batch_precision
+                )
                 with self._stats_lock:
                     self._counters["coalesced_batches"] += 1
                     self._counters["coalesced_pairs"] += len(planned)
             else:
                 [(job, problem, _)] = planned
-                backend = get_backend(self.backend)
+                name, extra = backend_for_precision(
+                    self.backend, batch_precision
+                )
+                backend = get_backend(name, **extra)
                 results = [backend.solve(problem)]
                 with self._stats_lock:
                     self._counters["solo_pairs"] += 1

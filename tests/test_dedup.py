@@ -259,3 +259,84 @@ class TestForcedMerge:
             serial.extras["portfolio"]["iterations"]
             == batched.extras["portfolio"]["iterations"]
         )
+
+
+class TestDedupTolerance:
+    """The converging tolerance schedule (ROADMAP item 4 follow-up).
+
+    The PR-9 fixed ``1e-5`` was a dead letter — same-basin restarts
+    plateau near relative distance 1e-3 and never get closer — so the
+    dedup checkpoints now compare against a geometric decay from
+    ``dedup_tol_start`` (default :data:`DEDUP_TOL_START`) down to the
+    ``dedup_tol`` floor at the outer budget.
+    """
+
+    def test_endpoints_interpolate_start_to_floor(self):
+        from repro.engine.restarts import DEDUP_TOL_START, dedup_tolerance
+
+        assert dedup_tolerance(0, 150, 1e-5) == DEDUP_TOL_START
+        assert dedup_tolerance(150, 150, 1e-5) == pytest.approx(1e-5)
+        midway = dedup_tolerance(75, 150, 1e-5)
+        assert midway == pytest.approx((DEDUP_TOL_START * 1e-5) ** 0.5)
+
+    def test_schedule_is_monotone_decreasing(self):
+        from repro.engine.restarts import dedup_tolerance
+
+        values = [dedup_tolerance(i, 100, 1e-5) for i in range(0, 101, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_degenerate_floors_and_starts_are_constant(self):
+        from repro.engine.restarts import dedup_tolerance
+
+        # dedup off stays off at every checkpoint
+        assert dedup_tolerance(20, 60, 0.0) == 0.0
+        assert dedup_tolerance(20, 60, -1.0) == -1.0
+        # an over-wide explicit floor (forced-merge tests) is constant
+        assert dedup_tolerance(20, 60, 10.0) == 10.0
+        assert dedup_tolerance(0, 60, 10.0) == 10.0
+        # a degenerate budget clamps to the floor
+        assert dedup_tolerance(5, 0, 1e-5) == pytest.approx(1e-5)
+
+    def test_iterations_past_the_budget_clamp_to_the_floor(self):
+        from repro.engine.restarts import dedup_tolerance
+
+        assert dedup_tolerance(300, 150, 1e-5) == pytest.approx(1e-5)
+
+    def test_extras_record_the_schedule(self):
+        from repro.engine.restarts import DEDUP_TOL_START, dedup_tolerance
+
+        pair = bench_pair(seed=0)
+        out = solve(pair, "fused-dense-dedup")
+        info = out.extras["dedup"]
+        assert info["tolerance"] == 1e-5
+        assert info["tolerance_start"] == DEDUP_TOL_START
+        assert [i for i, _ in info["tolerance_schedule"]] == info["checkpoints"]
+        for iteration, tol in info["tolerance_schedule"]:
+            assert tol == dedup_tolerance(
+                iteration, CFG.max_outer_iter, 1e-5, DEDUP_TOL_START
+            )
+
+    def test_wider_start_merges_where_the_default_does_not(self):
+        """Same pair, same floor: only the opening tolerance differs,
+        and it alone decides whether the clone restarts merge."""
+        pair = bench_pair(seed=0)
+        default = solve(pair, "fused-dense-dedup")
+        widened = solve(
+            pair, "fused-dense-dedup", dedup_tol_start=0.5
+        )
+        assert default.extras["dedup"]["merges"] == []
+        merges = widened.extras["dedup"]["merges"]
+        assert merges, "a 0.5 opening tolerance must merge the clones"
+        assert widened.extras["dedup"]["freed_iterations"] > 0
+        # keepers precede the dropped runs in start order
+        labels = [run for run in default.extras["portfolio"]["iterations"]]
+        for merge in merges:
+            assert labels.index(merge["kept"]) < labels.index(merge["dropped"])
+
+    def test_serial_and_batched_agree_on_the_widened_schedule(self):
+        pair = bench_pair(seed=0)
+        options = {"dedup_tol_start": 0.5}
+        serial = solve(pair, "fused-dense-dedup", **options)
+        batched = solve(pair, "batched-dedup", **options)
+        np.testing.assert_array_equal(serial.plan, batched.plan)
+        assert serial.extras["dedup"] == batched.extras["dedup"]

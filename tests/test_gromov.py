@@ -238,3 +238,60 @@ class TestFusedGW:
         dt = (dt + dt.T) / 2
         result = fused_gromov_wasserstein(cost, ds, dt, alpha=alpha, max_iter=20)
         np.testing.assert_allclose(result.plan.sum(axis=1), 0.25, atol=1e-8)
+
+
+class TestOTFloat32:
+    """Opt-in ``precision="float32"`` on the OT-layer solvers (PR 10)."""
+
+    def random_problem(self, seed=0, n=14, m=12):
+        rng = np.random.default_rng(seed)
+        ds = rng.random((n, n))
+        dt = rng.random((m, m))
+        return 0.5 * (ds + ds.T), 0.5 * (dt + dt.T), rng.random((n, m))
+
+    def test_proximal_gw_f32_tracks_the_f64_reference(self):
+        ds, dt, _ = self.random_problem()
+        f64 = proximal_gromov_wasserstein(ds, dt, max_iter=30)
+        f32 = proximal_gromov_wasserstein(
+            ds, dt, max_iter=30, precision="float32"
+        )
+        assert f32.plan.dtype == np.float64  # re-cast on return
+        assert abs(f32.distance - f64.distance) < 1e-5
+        relative = np.abs(f32.plan - f64.plan).sum() / np.abs(f64.plan).sum()
+        assert relative < 1e-3
+
+    def test_fused_gw_f32_tracks_the_f64_reference(self):
+        ds, dt, cost = self.random_problem(seed=1)
+        f64 = fused_gromov_wasserstein(cost, ds, dt, alpha=0.5, max_iter=30)
+        f32 = fused_gromov_wasserstein(
+            cost, ds, dt, alpha=0.5, max_iter=30, precision="float32"
+        )
+        assert f32.plan.dtype == np.float64
+        assert abs(f32.distance - f64.distance) < 1e-5
+        relative = np.abs(f32.plan - f64.plan).sum() / np.abs(f64.plan).sum()
+        assert relative < 1e-3
+
+    def test_f32_history_is_evaluated_in_float64(self):
+        ds, dt, cost = self.random_problem(seed=2)
+        result = fused_gromov_wasserstein(
+            cost, ds, dt, alpha=0.5, max_iter=10, precision="float32"
+        )
+        assert all(isinstance(value, float) for value in result.history)
+
+    def test_default_precision_path_is_unperturbed(self):
+        """Two float64 calls produce identical bits — the f32 branch
+        must not have touched the reference path."""
+        ds, dt, cost = self.random_problem(seed=3)
+        first = fused_gromov_wasserstein(cost, ds, dt, max_iter=15)
+        second = fused_gromov_wasserstein(cost, ds, dt, max_iter=15)
+        np.testing.assert_array_equal(first.plan, second.plan)
+        prox_first = proximal_gromov_wasserstein(ds, dt, max_iter=15)
+        prox_second = proximal_gromov_wasserstein(ds, dt, max_iter=15)
+        np.testing.assert_array_equal(prox_first.plan, prox_second.plan)
+
+    def test_unknown_precision_raises(self):
+        ds, dt, cost = self.random_problem()
+        with pytest.raises(ValueError, match="precision"):
+            proximal_gromov_wasserstein(ds, dt, precision="float16")
+        with pytest.raises(ValueError, match="precision"):
+            fused_gromov_wasserstein(cost, ds, dt, precision="half")
