@@ -20,6 +20,14 @@ The gate fails (exit 1) when
   cache hit rate, no coalescing, a bitwise divergence from the direct
   engine) or its calibrated pairs/sec regressed past the slowdown
   budget, or
+* the scalability bench (``BENCH_scale.json``) lost a correctness
+  invariant (parallel blocks no longer bitwise the serial loop,
+  injected cross-partition links no longer fully recovered) or its
+  within-run ``block_speedup`` (serial/parallel on the same box, so no
+  machine-reference normalisation needed) fell more than the slowdown
+  budget below the committed value — the parallel partition path
+  quietly becoming slower than serial must land as a red X, not as a
+  silently re-recorded artefact, or
 * any SLOTAlign-vs-best-baseline Hit@1 margin in the fresh
   ``BENCH_fidelity.json`` went negative (an accuracy regression, which
   no runner-speed excuse can explain away), or
@@ -264,6 +272,68 @@ def check_serve(baseline_dir: Path, current_dir: Path, max_slowdown: float):
         )
 
 
+def check_scale(baseline_dir: Path, current_dir: Path, max_slowdown: float):
+    """Yield failure messages for the scalability-bench comparison.
+
+    The fresh file carries its own correctness invariants — the
+    process-parallel block solves must stay bitwise-equal to the
+    serial loop and the seeded boundary repair must keep recovering
+    every injected cross-partition link — and those gate
+    unconditionally.  ``block_speedup`` is a within-run ratio (serial
+    and parallel timed back to back on the same box), so it gates
+    directly against the committed value without machine-reference
+    normalisation.  The comparison is skipped with a note when the
+    fresh box has fewer cpus than the baseline box: a parallel path
+    cannot be expected to hold its speedup with fewer cores.
+    """
+    fresh = load(current_dir / "BENCH_scale.json")
+    if fresh is None:
+        yield "BENCH_scale.json missing from the current run"
+        return
+    four_block = fresh.get("four_block", {})
+    if four_block.get("bitwise_equal") is not True:
+        yield (
+            "scale bench: parallel block solves diverged bitwise from "
+            "the serial loop"
+        )
+    recovery = four_block.get("injected_recovery", {})
+    rate = recovery.get("recovery_rate")
+    if rate is not None and rate < 1.0:
+        yield (
+            f"scale bench: boundary repair recovered only "
+            f"{recovery.get('recovered_links')}/{recovery.get('lost_links')} "
+            f"injected cross-partition links (rate {rate:.2f} < 1.0)"
+        )
+    baseline = load(baseline_dir / "BENCH_scale.json")
+    if baseline is None:
+        print("note: no baseline BENCH_scale.json; skipping scale gate")
+        return
+    base_speedup = baseline.get("four_block", {}).get("block_speedup")
+    fresh_speedup = four_block.get("block_speedup")
+    if base_speedup is None or fresh_speedup is None:
+        print("note: block_speedup absent on one side; skipping scale gate")
+        return
+    base_cpus = baseline.get("cpu_count")
+    fresh_cpus = fresh.get("cpu_count")
+    if base_cpus and fresh_cpus and fresh_cpus < base_cpus:
+        print(
+            f"note: fresh box has {fresh_cpus} cpu(s) vs baseline "
+            f"{base_cpus}; skipping block_speedup gate"
+        )
+        return
+    allowed = base_speedup / (1.0 + max_slowdown)
+    print(
+        f"scale block_speedup: baseline {base_speedup:.2f}x, "
+        f"fresh {fresh_speedup:.2f}x (allowed >= {allowed:.2f}x)"
+    )
+    if fresh_speedup < allowed:
+        yield (
+            f"scale bench regressed: block_speedup {fresh_speedup:.2f}x vs "
+            f"committed {base_speedup:.2f}x (> {max_slowdown:.0%} drop) — "
+            "the parallel partition path is losing to serial"
+        )
+
+
 def check_fidelity(current_dir: Path):
     """Yield failure messages for negative accuracy margins."""
     fresh = load(current_dir / "BENCH_fidelity.json")
@@ -427,6 +497,7 @@ def main(argv=None) -> int:
         *check_solver(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_precision(args.current_dir, min_speedup=args.min_f32_speedup),
         *check_serve(args.baseline_dir, args.current_dir, args.max_slowdown),
+        *check_scale(args.baseline_dir, args.current_dir, args.max_slowdown),
         *check_fidelity(args.current_dir),
         *check_partial(args.current_dir, tolerance=args.partial_tolerance),
         *check_decoders(args.current_dir),
